@@ -1,0 +1,167 @@
+// Command cdabench regenerates every experiment in EXPERIMENTS.md
+// (E1–E8) and prints the result tables. Use -only to run a subset and
+// -quick for smaller workloads.
+//
+// Usage:
+//
+//	cdabench [-only e1,e5] [-quick] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/reliable-cda/cda/internal/experiments"
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (e1..e8); empty = all")
+	quick := flag.Bool("quick", false, "smaller workloads for a fast smoke run")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToLower(strings.TrimSpace(id))] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	scale := 1.0
+	if *quick {
+		scale = 0.2
+	}
+	n := func(full int) int {
+		v := int(float64(full) * scale)
+		if v < 20 {
+			v = 20
+		}
+		return v
+	}
+
+	type runner struct {
+		id  string
+		run func() (fmt.Stringer, error)
+	}
+	runners := []runner{
+		{"e1", func() (fmt.Stringer, error) {
+			r, err := experiments.RunE1(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"e2", func() (fmt.Stringer, error) {
+			p := workload.DefaultVectorParams()
+			p.Seed = *seed
+			if *quick {
+				p.N, p.Queries = 4000, 40
+			}
+			r, err := experiments.RunE2(p, 10)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"e2b", func() (fmt.Stringer, error) {
+			p := workload.DefaultVectorParams()
+			p.Seed = *seed
+			p.Queries = 50
+			sizes := []int{5000, 20000, 50000}
+			if *quick {
+				sizes = []int{2000, 8000}
+			}
+			r, err := experiments.RunE2Sweep(sizes, p, 10)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"e3", func() (fmt.Stringer, error) {
+			r, err := experiments.RunE3(n(300), 0.8, 0.05, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"e4", func() (fmt.Stringer, error) {
+			r, err := experiments.RunE4(n(300), *seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"e5", func() (fmt.Stringer, error) {
+			r, err := experiments.RunE5(n(600), 0.2, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"e6", func() (fmt.Stringer, error) {
+			sessions := 20
+			if *quick {
+				sessions = 5
+			}
+			r, err := experiments.RunE6(sessions, 6, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"e7", func() (fmt.Stringer, error) {
+			r, err := experiments.RunE7(n(300), 0.3, 0.1, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"e8", func() (fmt.Stringer, error) {
+			r, err := experiments.RunE8(0.15, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"e9", func() (fmt.Stringer, error) {
+			r, err := experiments.RunE9(n(240), *seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"e10", func() (fmt.Stringer, error) {
+			r, err := experiments.RunE10(3, n(100)/4+10, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"scorecard", func() (fmt.Stringer, error) {
+			r, err := experiments.RunScorecard(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+	}
+
+	for _, r := range runners {
+		if !want(r.id) {
+			continue
+		}
+		start := time.Now()
+		table, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s completed in %v)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+}

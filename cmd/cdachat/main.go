@@ -1,0 +1,88 @@
+// Command cdachat is an interactive REPL over the reliable CDA
+// system, loaded with the synthetic Swiss labour-market domain of the
+// paper's Figure 1. Each answer is printed with its confidence,
+// sources, and (with -verbose) the generated code and provenance
+// summary.
+//
+// Usage:
+//
+//	cdachat [-seed 1] [-noise 0.05] [-verbose]
+//
+// Try the Figure 1 conversation:
+//
+//	> Give me an overview of the working force in Switzerland
+//	> What is the Swiss workforce barometer?
+//	> I am interested in the barometer
+//	> Can you please give me the seasonality insights
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	noise := flag.Float64("noise", 0.05, "simulated LLM hallucination rate")
+	verbose := flag.Bool("verbose", false, "print code and provenance for every answer")
+	flag.Parse()
+
+	d := workload.NewSwissDomain(*seed)
+	sys := core.New(core.Config{
+		DB: d.DB, Catalog: d.Catalog, KG: d.KG, Vocab: d.Vocab, Documents: d.Documents, Now: d.Now,
+		Seed:              *seed,
+		HallucinationRate: *noise,
+		Fabrications:      []string{"revenue", "turnover", "kpi_x"},
+	})
+	sess := sys.NewSession()
+
+	fmt.Println("Reliable CDA — Swiss labour-market domain. Type a question, or 'quit'.")
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		ans, err := sys.Respond(sess, line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			continue
+		}
+		fmt.Println(ans.Text)
+		fmt.Printf("  [confidence %.0f%%", ans.Confidence*100)
+		if ans.Abstained {
+			fmt.Print(", abstained")
+		}
+		fmt.Println("]")
+		if len(ans.Explanation.Sources) > 0 {
+			fmt.Println("  sources: " + strings.Join(ans.Explanation.Sources, "; "))
+		}
+		if ans.Suggestions != "" {
+			fmt.Println("  " + ans.Suggestions)
+		}
+		if *verbose {
+			if ans.Code != "" {
+				fmt.Println("  code: " + ans.Code)
+			}
+			if ans.Provenance != nil && ans.AnswerNode != "" {
+				fmt.Println("  provenance:")
+				for _, l := range strings.Split(ans.Provenance.Summary(ans.AnswerNode), "\n") {
+					fmt.Println("    " + l)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Command cdademo writes the synthetic Swiss labour-market datasets
+// to a directory as CSV files (plus schema.json), so cdaquery and
+// cdaserver can be tried on realistic data immediately:
+//
+//	cdademo -dir ./demo
+//	cdaquery -csv ./demo/barometer.csv -analyze barometer.value
+//	cdaquery -csv ./demo/employment.csv "how many employment where canton is Zurich"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/reliable-cda/cda/internal/storage"
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+func main() {
+	dir := flag.String("dir", "demo", "output directory")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	d := workload.NewSwissDomain(*seed)
+	if err := storage.SaveDir(d.DB, *dir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d tables to %s\n", len(d.DB.Tables()), *dir)
+	for _, t := range d.DB.Tables() {
+		fmt.Printf("  %s.csv (%d rows)\n", t.Name, t.NumRows())
+	}
+}

@@ -1,0 +1,72 @@
+// Command cdaserver serves the reliable CDA system over HTTP/JSON,
+// loaded with the synthetic Swiss labour-market domain (or your own
+// CSV tables via -csv).
+//
+// Usage:
+//
+//	cdaserver [-addr :8080] [-seed 1] [-noise 0.05] [-csv a.csv,b.csv]
+//
+// Example session:
+//
+//	curl -X POST localhost:8080/sessions                  # -> {"id":"s0001"}
+//	curl -X POST localhost:8080/sessions/s0001/ask \
+//	     -d '{"question":"how many employment where canton is Zurich"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/catalog"
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/server"
+	"github.com/reliable-cda/cda/internal/storage"
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "random seed")
+	noise := flag.Float64("noise", 0.05, "simulated LLM hallucination rate")
+	csvs := flag.String("csv", "", "comma-separated CSV files to serve instead of the Swiss demo domain")
+	flag.Parse()
+
+	var cfg core.Config
+	var cat *catalog.Catalog
+	now := 0
+	if *csvs == "" {
+		d := workload.NewSwissDomain(*seed)
+		cfg = core.Config{DB: d.DB, Catalog: d.Catalog, KG: d.KG, Vocab: d.Vocab, Documents: d.Documents, Now: d.Now}
+		cat = d.Catalog
+		now = d.Now
+	} else {
+		db := storage.NewDatabase("served")
+		cat = catalog.New()
+		for _, path := range strings.Split(*csvs, ",") {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+			t, err := storage.ReadCSV(name, f, nil)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			db.Put(t)
+			cat.Add(catalog.Dataset{ID: name, Name: name, Description: "loaded from " + path, Source: path, Table: t})
+		}
+		cfg = core.Config{DB: db, Catalog: cat}
+	}
+	cfg.Seed = *seed
+	cfg.HallucinationRate = *noise
+
+	srv := server.New(core.New(cfg), cat, now)
+	fmt.Printf("cdaserver listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

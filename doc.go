@@ -1,0 +1,13 @@
+// Package cda is the root of a from-scratch Go reproduction of
+// "Towards Reliable Conversational Data Analytics" (EDBT 2025): a
+// conversational data-analytics system whose answers are timely,
+// consistent, and verifiable, built around the paper's five
+// reliability properties — Efficiency, Grounding, Explainability,
+// Soundness, and Guidance.
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// the measured reproduction of the paper's example and claims. The
+// bench_test.go file in this directory regenerates every experiment
+// via `go test -bench=.`.
+package cda

@@ -1,0 +1,66 @@
+// Guided-exploration: demonstrates the P5 guidance machinery — the
+// interaction graph learning which conversational routes succeed,
+// speculative planning toward a goal, per-turn next-step suggestions,
+// and expertise-adapted verbosity.
+//
+//	go run ./examples/guided-exploration
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/guidance"
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+func main() {
+	// 1. An interaction graph trained on simulated past sessions:
+	// sessions that clarified before analyzing succeeded; sessions
+	// that jumped straight to analysis failed.
+	g := guidance.NewGraph()
+	for i := 0; i < 25; i++ {
+		g.Record([]guidance.Action{guidance.ActDiscover, guidance.ActClarify, guidance.ActDescribe, guidance.ActAnalyze}, true)
+	}
+	for i := 0; i < 15; i++ {
+		g.Record([]guidance.Action{guidance.ActAnalyze}, false)
+	}
+
+	path, prob := g.Plan(guidance.ActStart, 6)
+	steps := make([]string, len(path))
+	for i, a := range path {
+		steps[i] = string(a)
+	}
+	fmt.Printf("Speculative plan from a cold start: %s (estimated success %.0f%%)\n\n",
+		strings.Join(steps, " -> "), prob*100)
+
+	fmt.Println("Recommended next steps after a discovery turn:")
+	for _, s := range g.NextSteps(guidance.ActDiscover, 3) {
+		fmt.Printf("  %-10s %.0f%%  %s\n", s.Action, s.Score*100, s.Reason)
+	}
+
+	// 2. Expertise profiling adapts how much the system explains.
+	novice := []string{"show me some job data", "what does this mean?"}
+	expert := []string{"decompose the series and report residual variance", "what is the autocorrelation at lag 12?"}
+	fmt.Printf("\nProfile %v -> %s (verbosity ×%.2f)\n", novice, guidance.ProfileExpertise(novice), guidance.Verbosity(guidance.ProfileExpertise(novice)))
+	fmt.Printf("Profile %v -> %s (verbosity ×%.2f)\n\n", expert, guidance.ProfileExpertise(expert), guidance.Verbosity(guidance.ProfileExpertise(expert)))
+
+	// 3. Live suggestions in a real session.
+	d := workload.NewSwissDomain(7)
+	sys := core.New(core.Config{DB: d.DB, Catalog: d.Catalog, KG: d.KG, Vocab: d.Vocab, Documents: d.Documents, Now: d.Now, Seed: 7})
+	sess := sys.NewSession()
+	ans, err := sys.Respond(sess, "Give me an overview of the working force in Switzerland")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("User: Give me an overview of the working force in Switzerland")
+	fmt.Println("System: " + strings.Split(ans.Text, "\n")[0] + " …")
+	if ans.Clarification != "" {
+		fmt.Println("System asks: " + ans.Clarification)
+	}
+	if ans.Suggestions != "" {
+		fmt.Println("System suggests: " + ans.Suggestions)
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a tiny database, wire up the reliable CDA
+// system, and ask it one question. Shows the answer annotations every
+// response carries: confidence, sources, generated code, and
+// next-step suggestions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/catalog"
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/ground"
+	"github.com/reliable-cda/cda/internal/storage"
+)
+
+func main() {
+	// 1. Data: one table of city populations.
+	cities := storage.NewTable("cities", storage.Schema{
+		{Name: "name", Kind: storage.KindString, Description: "city name"},
+		{Name: "country", Kind: storage.KindString, Description: "country"},
+		{Name: "population", Kind: storage.KindInt, Description: "inhabitants"},
+	})
+	cities.MustAppendRow(storage.Str("Zurich"), storage.Str("Switzerland"), storage.Int(434008))
+	cities.MustAppendRow(storage.Str("Geneva"), storage.Str("Switzerland"), storage.Int(203856))
+	cities.MustAppendRow(storage.Str("Lyon"), storage.Str("France"), storage.Int(522969))
+	db := storage.NewDatabase("demo")
+	db.Put(cities)
+
+	// 2. Catalog entry so discovery and provenance can cite the data.
+	cat := catalog.New()
+	cat.Add(catalog.Dataset{
+		ID: "cities", Name: "City populations",
+		Description: "population counts for European cities",
+		Source:      "https://example.org/city-stats",
+		Table:       cities,
+	})
+
+	// 3. Domain vocabulary: users say "towns", the schema says
+	// "cities".
+	vocab := ground.NewVocabulary()
+	vocab.AddSynonym("towns", "cities")
+	vocab.AddSynonym("people", "population")
+
+	// 4. The system.
+	sys := core.New(core.Config{DB: db, Catalog: cat, Vocab: vocab, Seed: 1})
+	sess := sys.NewSession()
+
+	// 5. Ask — note the synonyms: grounding resolves them.
+	for _, q := range []string{
+		"how many towns where country is Switzerland",
+		"what is the total people in towns",
+	} {
+		ans, err := sys.Respond(sess, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q: %s\nA: %s\n", q, ans.Text)
+		fmt.Printf("   confidence: %.0f%%   sql: %s\n", ans.Confidence*100, ans.Code)
+		if len(ans.Explanation.Sources) > 0 {
+			fmt.Printf("   sources: %s\n", strings.Join(ans.Explanation.Sources, "; "))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/reliable-cda/cda
+
+go 1.22

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/nlmodel"
+)
+
+// BaselineLLM models the generation-only conversational tools the
+// paper contrasts with a reliable CDA system: it always answers, its
+// answers pass through an unchecked hallucination channel, it reports
+// a high self-confidence regardless of correctness, and it attaches
+// no provenance. E3, E5, and E8 use it as the comparison system.
+type BaselineLLM struct {
+	Channel nlmodel.Channel
+	RawConf nlmodel.RawConfidence
+	rng     *rand.Rand
+}
+
+// NewBaselineLLM builds the baseline with the given hallucination
+// rate and fabrication pool.
+func NewBaselineLLM(hallucinationRate float64, fabrications []string, seed int64) *BaselineLLM {
+	return &BaselineLLM{
+		Channel: nlmodel.Channel{HallucinationRate: hallucinationRate, Fabrications: fabrications},
+		RawConf: nlmodel.RawConfidence{Base: 0.9, Noise: 0.04},
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Answer produces the baseline's response given the answer a fully
+// informed system would give: the text goes through the hallucination
+// channel unchecked and the confidence is the model's raw
+// self-report. It never abstains.
+func (b *BaselineLLM) Answer(idealAnswer string) (text string, confidence float64) {
+	toks := strings.Fields(idealAnswer)
+	out := b.Channel.Corrupt(b.rng, toks)
+	return strings.Join(out, " "), b.RawConf.Score(b.rng)
+}

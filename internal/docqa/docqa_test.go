@@ -1,0 +1,117 @@
+package docqa
+
+import (
+	"strings"
+	"testing"
+)
+
+func fixtureStore() *Store {
+	s := NewStore()
+	s.Add(Document{
+		ID: "method", Source: "https://arbeit.swiss/methodology",
+		Text: "The Swiss Labour Market Barometer is computed from a monthly survey. " +
+			"Experts in 22 cantonal employment centers report their expectations. " +
+			"Responses are aggregated into a diffusion index.",
+	})
+	s.Add(Document{
+		ID: "coverage", Source: "https://bfs.admin.ch/notes",
+		Text: "Employment statistics cover employees older than 15 years. " +
+			"Part-time and full-time positions are counted separately.",
+	})
+	s.Add(Document{
+		ID: "chocolate", Source: "https://chocosuisse.ch",
+		Text: "Chocolate exports rose steadily over the last decade.",
+	})
+	return s
+}
+
+func TestSplitSentences(t *testing.T) {
+	got := SplitSentences("One. Two! Three? trailing")
+	if len(got) != 4 || got[0] != "One." || got[3] != "trailing" {
+		t.Errorf("sentences = %v", got)
+	}
+	if got := SplitSentences(""); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestAskExtractsCorrectSentence(t *testing.T) {
+	s := fixtureStore()
+	ans := s.Ask("how is the barometer computed?")
+	if ans == nil {
+		t.Fatal("no answer")
+	}
+	if ans.DocID != "method" {
+		t.Errorf("doc = %q", ans.DocID)
+	}
+	if !strings.Contains(ans.Sentence, "monthly survey") {
+		t.Errorf("sentence = %q", ans.Sentence)
+	}
+	if ans.Source != "https://arbeit.swiss/methodology" {
+		t.Errorf("source = %q", ans.Source)
+	}
+	if ans.Score <= 0 || ans.Score > 1 {
+		t.Errorf("score = %v", ans.Score)
+	}
+}
+
+func TestAskSecondDocument(t *testing.T) {
+	s := fixtureStore()
+	ans := s.Ask("what age do employment statistics cover?")
+	if ans == nil || ans.DocID != "coverage" {
+		t.Fatalf("answer = %+v", ans)
+	}
+	if !strings.Contains(ans.Sentence, "older than 15") {
+		t.Errorf("sentence = %q", ans.Sentence)
+	}
+}
+
+func TestAskRefusesOffTopic(t *testing.T) {
+	s := fixtureStore()
+	if ans := s.Ask("qqq zzz xxx vvv"); ans != nil {
+		t.Errorf("off-topic answered: %+v", ans)
+	}
+}
+
+func TestAskEmptyStore(t *testing.T) {
+	if ans := NewStore().Ask("anything"); ans != nil {
+		t.Errorf("empty store answered: %+v", ans)
+	}
+}
+
+func TestMarginReflectsAmbiguity(t *testing.T) {
+	s := NewStore()
+	s.Add(Document{ID: "a", Text: "The barometer is computed from a survey of experts."})
+	s.Add(Document{ID: "b", Text: "The barometer is computed from a survey of analysts."})
+	ambiguous := s.Ask("how is the barometer computed")
+
+	s2 := fixtureStore()
+	clear := s2.Ask("how is the barometer computed from the monthly survey of experts")
+	if ambiguous == nil || clear == nil {
+		t.Fatal("missing answers")
+	}
+	if ambiguous.Margin >= clear.Margin {
+		t.Errorf("ambiguous margin %v >= clear %v", ambiguous.Margin, clear.Margin)
+	}
+}
+
+func TestAskDeterministic(t *testing.T) {
+	s := fixtureStore()
+	a := s.Ask("how is the barometer computed?")
+	b := s.Ask("how is the barometer computed?")
+	if a.Sentence != b.Sentence || a.Score != b.Score {
+		t.Error("not deterministic")
+	}
+}
+
+func TestOverlapF1(t *testing.T) {
+	if got := overlapF1("barometer survey", "The barometer is a survey."); got <= 0 {
+		t.Errorf("overlap = %v", got)
+	}
+	if got := overlapF1("", "text"); got != 0 {
+		t.Errorf("empty question overlap = %v", got)
+	}
+	if got := overlapF1("the of a", "the of a"); got != 0 {
+		t.Errorf("stopword-only overlap = %v", got)
+	}
+}

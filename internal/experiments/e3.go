@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"github.com/reliable-cda/cda/internal/nl2sql"
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+// E3Result is the P2 Grounding experiment: hallucination rate and
+// answer correctness with vs. without grounding on a synonym-heavy
+// workload (domain vocabulary the "model" has never seen as schema
+// identifiers).
+type E3Result struct {
+	N           int
+	SynonymRate float64
+	Without     *PipelineStats
+	With        *PipelineStats
+	// SynonymSubset restricts the comparison to questions that
+	// actually used synonyms (where grounding must do the work).
+	SynonymQuestions int
+}
+
+// RunE3 compares the verified pipeline with grounding off vs. on.
+func RunE3(n int, synonymRate, hallucination float64, seed int64) (*E3Result, error) {
+	w := workload.GenNL2SQL(n, synonymRate, seed)
+	res := &E3Result{N: n, SynonymRate: synonymRate}
+	for _, qa := range w.Pairs {
+		if qa.UsesSynonyms {
+			res.SynonymQuestions++
+		}
+	}
+	base := nl2sql.Options{UseConstrained: true, UseVerification: true, Samples: 5, MaxRepairAttempts: 3}
+	withG := base
+	withG.UseGrounding = true
+	var err error
+	res.Without, err = RunPipeline("verified, no grounding", w, base, hallucination, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.With, err = RunPipeline("verified + grounding", w, withG, hallucination, seed)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders the grounding comparison.
+func (r *E3Result) Table() *Table {
+	t := &Table{
+		Title:   "E3 — grounding ablation (P2): synonym-heavy questions",
+		Columns: []string{"system", "exec acc", "wrong", "abstain", "halluc. ids"},
+	}
+	for _, s := range []*PipelineStats{r.Without, r.With} {
+		t.Rows = append(t.Rows, []string{
+			s.Name, pct(s.ExecAccuracy), pct(s.WrongRate), pct(s.AbstainRate), pct(s.HallucinatedID),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: grounding recovers the questions phrased in domain vocabulary,",
+		"raising accuracy and cutting abstentions without raising the wrong-answer rate.",
+	)
+	return t
+}

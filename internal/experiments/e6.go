@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/guidance"
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+// E6Result is the P5 Guidance experiment: simulated users pursue a
+// hidden analytical goal (a seasonality insight on the barometer)
+// either following the system's guidance or exploring on their own.
+type E6Result struct {
+	Sessions       int
+	TurnBudget     int
+	GuidedSuccess  float64
+	GuidedTurns    float64 // mean turns among successful sessions
+	RandomSuccess  float64
+	RandomTurns    float64
+	PlannedPath    []guidance.Action
+	PlannedSuccess float64 // graph's own estimate for the planned path
+}
+
+// goalReached checks whether an answer delivers the target insight.
+func goalReached(ans *core.Answer) bool {
+	return ans != nil && !ans.Abstained && strings.Contains(ans.Text, "seasonal period")
+}
+
+// RunE6 simulates guided and unguided user sessions.
+func RunE6(sessions, turnBudget int, seed int64) (*E6Result, error) {
+	res := &E6Result{Sessions: sessions, TurnBudget: turnBudget}
+
+	// The guided user starts from the same vague opening and then
+	// only reacts to the system's own signals: it answers pending
+	// clarifications by naming its goal dataset and follows a
+	// seasonality suggestion when offered. No fixed script.
+	guidedPolicy := func(last *core.Answer) string {
+		switch {
+		case last == nil:
+			return "Give me an overview of the working force in Switzerland"
+		case last.Clarification != "":
+			return "I am interested in the barometer"
+		case strings.Contains(last.Suggestions, "seasonality"):
+			return "Can you please give me the seasonality insights"
+		default:
+			return "Can you please give me the seasonality insights"
+		}
+	}
+	// The unguided pool: plausible utterances issued in random order
+	// (the "single prompt, no guidance" interaction style).
+	randomPool := []string{
+		"Can you please give me the seasonality insights",
+		"What is the Swiss workforce barometer?",
+		"how many employment where canton is Zurich",
+		"Give me an overview of the working force in Switzerland",
+		"I am interested in the barometer",
+		"list the value of barometer",
+	}
+
+	var guidedOK, randomOK int
+	var guidedTurnSum, randomTurnSum float64
+	for s := 0; s < sessions; s++ {
+		// Guided session.
+		d := workload.NewSwissDomain(seed)
+		sys := core.New(core.Config{DB: d.DB, Catalog: d.Catalog, KG: d.KG, Vocab: d.Vocab, Documents: d.Documents, Now: d.Now, Seed: seed + int64(s)})
+		sess := sys.NewSession()
+		turns := 0
+		success := false
+		var last *core.Answer
+		for turns < turnBudget {
+			turns++
+			ans, err := sys.Respond(sess, guidedPolicy(last))
+			if err != nil {
+				return nil, err
+			}
+			last = ans
+			if goalReached(ans) {
+				success = true
+				break
+			}
+		}
+		if success {
+			guidedOK++
+			guidedTurnSum += float64(turns)
+			sys.Guide().Record([]guidance.Action{guidance.ActDiscover, guidance.ActClarify, guidance.ActAnalyze}, true)
+		}
+
+		// Unguided session: same system, random utterance order.
+		d2 := workload.NewSwissDomain(seed)
+		sys2 := core.New(core.Config{DB: d2.DB, Catalog: d2.Catalog, KG: d2.KG, Vocab: d2.Vocab, Documents: d2.Documents, Now: d2.Now, Seed: seed + int64(s), DisableGuidance: true})
+		sess2 := sys2.NewSession()
+		rng := rand.New(rand.NewSource(seed + int64(s)*31))
+		turns = 0
+		success = false
+		for turns < turnBudget {
+			turns++
+			u := randomPool[rng.Intn(len(randomPool))]
+			ans, err := sys2.Respond(sess2, u)
+			if err != nil {
+				return nil, err
+			}
+			if goalReached(ans) {
+				success = true
+				break
+			}
+		}
+		if success {
+			randomOK++
+			randomTurnSum += float64(turns)
+		}
+	}
+	res.GuidedSuccess = float64(guidedOK) / float64(sessions)
+	res.RandomSuccess = float64(randomOK) / float64(sessions)
+	if guidedOK > 0 {
+		res.GuidedTurns = guidedTurnSum / float64(guidedOK)
+	}
+	if randomOK > 0 {
+		res.RandomTurns = randomTurnSum / float64(randomOK)
+	}
+
+	// The interaction graph's own speculative plan.
+	g := guidance.NewGraph()
+	for i := 0; i < 10; i++ {
+		g.Record([]guidance.Action{guidance.ActDiscover, guidance.ActClarify, guidance.ActAnalyze}, true)
+		g.Record([]guidance.Action{guidance.ActAnalyze}, false)
+	}
+	res.PlannedPath, res.PlannedSuccess = g.Plan(guidance.ActStart, 5)
+	return res, nil
+}
+
+// Table renders the guidance comparison.
+func (r *E6Result) Table() *Table {
+	t := &Table{
+		Title:   "E6 — guided vs. unguided exploration (P5 Guidance)",
+		Columns: []string{"mode", "success rate", "mean turns to goal"},
+		Rows: [][]string{
+			{"guided (follow system leads)", pct(r.GuidedSuccess), f2(r.GuidedTurns)},
+			{"unguided (random prompts)", pct(r.RandomSuccess), f2(r.RandomTurns)},
+		},
+	}
+	path := make([]string, len(r.PlannedPath))
+	for i, a := range r.PlannedPath {
+		path[i] = string(a)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("interaction-graph plan: %s (estimated success %s)", strings.Join(path, " → "), pct(r.PlannedSuccess)),
+		"expected shape: guidance reaches the goal with fewer turns and higher success.",
+	)
+	return t
+}

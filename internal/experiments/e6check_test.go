@@ -1,0 +1,14 @@
+package experiments
+
+import "testing"
+
+func TestE6UnguidedEventuallySucceeds(t *testing.T) {
+	r, err := RunE6(30, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("guided %.2f (%.1f turns) random %.2f (%.1f turns)", r.GuidedSuccess, r.GuidedTurns, r.RandomSuccess, r.RandomTurns)
+	if r.RandomSuccess == 0 {
+		t.Error("unguided never succeeds even with 8-turn budget; simulation may be broken")
+	}
+}

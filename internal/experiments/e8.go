@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/sqldb"
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+// e8QA is one swiss-domain question with its gold SQL.
+type e8QA struct {
+	question string
+	gold     string
+}
+
+// swissQuestions mixes schema-literal and vocabulary-mediated
+// phrasings over the Figure 1 data.
+var swissQuestions = []e8QA{
+	{"how many employment where canton is Zurich", "SELECT COUNT(*) FROM employment WHERE canton = 'Zurich'"},
+	{"how many employment where canton is Bern", "SELECT COUNT(*) FROM employment WHERE canton = 'Bern'"},
+	{"how many employment where employment_type is full_time", "SELECT COUNT(*) FROM employment WHERE employment_type = 'full_time'"},
+	{"what is the average value in barometer", "SELECT AVG(value) FROM barometer"},
+	{"what is the maximum value in barometer", "SELECT MAX(value) FROM barometer"},
+	{"what is the total employees in employment", "SELECT SUM(employees) FROM employment"},
+	{"what is the average employees in employment where canton is Geneva", "SELECT AVG(employees) FROM employment WHERE canton = 'Geneva'"},
+	{"how many barometer", "SELECT COUNT(*) FROM barometer"},
+	{"what is the minimum value in barometer", "SELECT MIN(value) FROM barometer"},
+	{"how many jobs where canton is Vaud", "SELECT COUNT(*) FROM employment WHERE canton = 'Vaud'"}, // "jobs" needs vocab
+}
+
+// E8Row is one ablation configuration's downstream measurements.
+type E8Row struct {
+	Config string
+	// ExecAcc is the soundness metric (correct answers / questions).
+	ExecAcc float64
+	// WrongRate: confidently wrong answers (soundness failure).
+	WrongRate float64
+	// AbstainRate: refusals.
+	AbstainRate float64
+	// SourcedRate: answered turns whose explanation cites ≥1 source
+	// (the explainability metric).
+	SourcedRate float64
+	// SuggestRate: turns carrying next-step suggestions (the guidance
+	// metric).
+	SuggestRate float64
+	// MeanLatency per turn (the efficiency metric).
+	MeanLatency time.Duration
+}
+
+// E8Result is the Figure 2 interplay matrix: disable one property's
+// component and watch which downstream property degrades.
+type E8Result struct {
+	Noise float64
+	Rows  []E8Row
+}
+
+// RunE8 measures each ablation over the swiss question set.
+func RunE8(noise float64, seed int64) (*E8Result, error) {
+	res := &E8Result{Noise: noise}
+	configs := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"full system", func(c *core.Config) {}},
+		{"- grounding (P2 off)", func(c *core.Config) { c.DisableGrounding = true }},
+		{"- verification (P4 off)", func(c *core.Config) { c.DisableVerification = true }},
+		{"- provenance (P3 off)", func(c *core.Config) { c.DisableProvenance = true }},
+		{"- guidance (P5 off)", func(c *core.Config) { c.DisableGuidance = true }},
+	}
+	for _, cf := range configs {
+		row, err := runE8Config(cf.name, cf.mutate, noise, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func runE8Config(name string, mutate func(*core.Config), noise float64, seed int64) (*E8Row, error) {
+	d := workload.NewSwissDomain(seed)
+	cfg := core.Config{
+		DB: d.DB, Catalog: d.Catalog, KG: d.KG, Vocab: d.Vocab, Documents: d.Documents, Now: d.Now,
+		Seed:              seed,
+		HallucinationRate: noise,
+		Fabrications:      []string{"revenue", "turnover", "kpi_x"},
+	}
+	mutate(&cfg)
+	sys := core.New(cfg)
+	gold := sqldb.NewEngine(d.DB)
+
+	row := &E8Row{Config: name}
+	var correct, wrong, abstained, sourced, suggested int
+	start := time.Now()
+	for _, qa := range swissQuestions {
+		sess := sys.NewSession()
+		ans, err := sys.Respond(sess, qa.question)
+		if err != nil {
+			return nil, err
+		}
+		if ans.Suggestions != "" {
+			suggested++
+		}
+		if ans.Abstained {
+			abstained++
+			continue
+		}
+		if len(ans.Explanation.Sources) > 0 {
+			sourced++
+		}
+		goldRes, err := gold.Query(qa.gold)
+		if err != nil {
+			return nil, err
+		}
+		sysRes, err := gold.Query(ans.Code)
+		if err != nil || sysRes.Fingerprint() != goldRes.Fingerprint() {
+			wrong++
+			continue
+		}
+		correct++
+	}
+	n := float64(len(swissQuestions))
+	row.ExecAcc = float64(correct) / n
+	row.WrongRate = float64(wrong) / n
+	row.AbstainRate = float64(abstained) / n
+	answered := n - float64(abstained)
+	if answered > 0 {
+		row.SourcedRate = float64(sourced) / answered
+	}
+	row.SuggestRate = float64(suggested) / n
+	row.MeanLatency = time.Since(start) / time.Duration(len(swissQuestions))
+	return row, nil
+}
+
+// Table renders the interplay matrix.
+func (r *E8Result) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("E8 — Figure 2 property interplay (ablation matrix, noise=%.2f)", r.Noise),
+		Columns: []string{
+			"config", "exec acc (P4)", "wrong", "abstain", "sourced (P3)", "suggest (P5)", "latency (P1)",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Config, pct(row.ExecAcc), pct(row.WrongRate), pct(row.AbstainRate),
+			pct(row.SourcedRate), pct(row.SuggestRate), row.MeanLatency.String(),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"expected shape (Figure 2 arrows): grounding off ⇒ soundness drops (P2 enables P4 via P3);",
+		"verification off ⇒ wrong-rate rises; provenance off ⇒ sourced-rate collapses (P3);",
+		"guidance off ⇒ suggestions vanish while accuracy holds (P5 is orthogonal to single-turn P4).",
+	)
+	return t
+}

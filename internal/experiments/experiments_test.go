@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"wide-cell-value", "x"}},
+		Notes:   []string{"a note"},
+	}
+	s := tbl.String()
+	for _, want := range []string{"== demo ==", "long-column", "wide-cell-value", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunE1ReproducesFigure1(t *testing.T) {
+	r, err := RunE1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Turns) != 4 {
+		t.Fatalf("turns = %d", len(r.Turns))
+	}
+	if !r.PeriodDetected {
+		t.Error("seasonal period 6 not detected")
+	}
+	if r.SeasonConfidence < 0.8 || r.SeasonConfidence > 0.98 {
+		t.Errorf("seasonality confidence = %v, want ≈0.9", r.SeasonConfidence)
+	}
+	if !r.AllLossless {
+		t.Error("provenance not lossless across the dialogue")
+	}
+	// Turn 1 must exhibit grounding and guidance; turn 4 code.
+	hasProp := func(turn int, prop string) bool {
+		for _, p := range r.Turns[turn].Properties {
+			if strings.Contains(p, prop) {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasProp(0, "P2") || !hasProp(0, "P5") {
+		t.Errorf("turn 1 properties = %v", r.Turns[0].Properties)
+	}
+	if !hasProp(3, "P3") {
+		t.Errorf("turn 4 properties = %v", r.Turns[3].Properties)
+	}
+	if s := r.Table().String(); !strings.Contains(s, "seasonal period 6 detected: true") {
+		t.Errorf("table = %s", s)
+	}
+}
+
+func TestRunE2Shapes(t *testing.T) {
+	p := workload.VectorParams{N: 3000, Queries: 30, Dim: 16, Clusters: 8, Spread: 1, Scale: 5, Seed: 3}
+	r, err := RunE2(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]E2Row{}
+	for _, row := range r.Rows {
+		byName[row.Method] = row
+		if !row.PromiseMet {
+			t.Errorf("%s failed its promise: %+v", row.Method, row)
+		}
+	}
+	exact := byName["exact-scan"]
+	if exact.Recall != 1 {
+		t.Errorf("exact recall = %v", exact.Recall)
+	}
+	// Approximate methods must do fewer distance computations.
+	for _, name := range []string{"lsh", "ivf(probe=10%)", "progressive(δ=0.9)"} {
+		if byName[name].AvgComps >= exact.AvgComps {
+			t.Errorf("%s comps %v >= exact %v", name, byName[name].AvgComps, exact.AvgComps)
+		}
+	}
+	// The progressive method with δ=0.9 must hold its recall bound.
+	if byName["progressive(δ=0.9)"].Recall < 0.85 {
+		t.Errorf("progressive recall = %v", byName["progressive(δ=0.9)"].Recall)
+	}
+	if byName["progressive(δ=1)"].Recall != 1 {
+		t.Errorf("progressive exact recall = %v", byName["progressive(δ=1)"].Recall)
+	}
+	_ = r.Table().String()
+}
+
+func TestRunE3GroundingHelps(t *testing.T) {
+	r, err := RunE3(80, 0.8, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.With.ExecAccuracy <= r.Without.ExecAccuracy {
+		t.Errorf("grounding did not help: with=%v without=%v",
+			r.With.ExecAccuracy, r.Without.ExecAccuracy)
+	}
+	if r.SynonymQuestions == 0 {
+		t.Error("workload contains no synonym questions")
+	}
+	_ = r.Table().String()
+}
+
+func TestRunE4Properties(t *testing.T) {
+	r, err := RunE4(60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LosslessRate != 1 || r.InvertibleRate != 1 {
+		t.Errorf("formal properties violated: %+v", r)
+	}
+	if r.ProvRefs < 1 {
+		t.Errorf("mean provenance refs = %v", r.ProvRefs)
+	}
+	if r.Overhead <= 0 {
+		t.Errorf("overhead = %v", r.Overhead)
+	}
+	_ = r.Table().String()
+}
+
+func TestRunE5CalibrationShapes(t *testing.T) {
+	r, err := RunE5(150, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	raw, cons, ent, cal := r.Rows[0], r.Rows[1], r.Rows[2], r.Rows[3]
+	// Entropy UQ must also order errors far better than the raw
+	// self-report.
+	if ent.AURC >= raw.AURC {
+		t.Errorf("entropy AURC %v >= raw %v", ent.AURC, raw.AURC)
+	}
+	// Consistency-based UQ must be better calibrated and better
+	// ordered than the raw self-report.
+	if cons.ECE >= raw.ECE {
+		t.Errorf("consistency ECE %v >= raw %v", cons.ECE, raw.ECE)
+	}
+	if cons.AURC >= raw.AURC {
+		t.Errorf("consistency AURC %v >= raw %v", cons.AURC, raw.AURC)
+	}
+	// Recalibration should not be dramatically worse than raw
+	// consistency (it is fit on held-out data so small regressions
+	// are possible, but the order-of-magnitude claim must hold).
+	if cal.ECE > raw.ECE {
+		t.Errorf("recalibrated ECE %v > raw %v", cal.ECE, raw.ECE)
+	}
+	// Selective accuracy at 0.5 must beat the answered-everything
+	// accuracy of the raw scheme (whose coverage ≈ 1 at 0.5).
+	if cons.SelAcc <= raw.SelAcc && cons.Coverage < raw.Coverage {
+		t.Errorf("abstention did not pay: cons=%+v raw=%+v", cons, raw)
+	}
+	_ = r.Table().String()
+}
+
+func TestRunE6GuidanceWins(t *testing.T) {
+	r, err := RunE6(6, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GuidedSuccess < r.RandomSuccess {
+		t.Errorf("guided %v < random %v", r.GuidedSuccess, r.RandomSuccess)
+	}
+	if r.GuidedSuccess == 0 {
+		t.Error("guided sessions never succeed")
+	}
+	if r.GuidedSuccess == r.RandomSuccess && r.GuidedTurns > r.RandomTurns {
+		t.Errorf("guided needs more turns at equal success: %v vs %v", r.GuidedTurns, r.RandomTurns)
+	}
+	if len(r.PlannedPath) == 0 {
+		t.Error("no speculative plan")
+	}
+	_ = r.Table().String()
+}
+
+func TestRunE7Ladder(t *testing.T) {
+	r, err := RunE7(80, 0.3, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stages) != 5 {
+		t.Fatalf("stages = %d", len(r.Stages))
+	}
+	// Monotone accuracy up the ladder (allowing equality between
+	// adjacent stages).
+	for i := 1; i < len(r.Stages); i++ {
+		if r.Stages[i].ExecAccuracy < r.Stages[i-1].ExecAccuracy-0.01 {
+			t.Errorf("ladder not monotone at %s: %v -> %v",
+				r.Stages[i].Name, r.Stages[i-1].ExecAccuracy, r.Stages[i].ExecAccuracy)
+		}
+	}
+	full := r.Stages[len(r.Stages)-1]
+	base := r.Stages[0]
+	if full.ExecAccuracy <= base.ExecAccuracy {
+		t.Errorf("full pipeline %v <= base %v", full.ExecAccuracy, base.ExecAccuracy)
+	}
+	// Verification suppresses confidently-wrong answers.
+	if full.WrongRate > base.WrongRate {
+		t.Errorf("verification raised wrong rate: %v > %v", full.WrongRate, base.WrongRate)
+	}
+	_ = r.Table().String()
+}
+
+func TestRunE8Interplay(t *testing.T) {
+	r, err := RunE8(0.15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]E8Row{}
+	for _, row := range r.Rows {
+		rows[row.Config] = row
+	}
+	full := rows["full system"]
+	if full.ExecAcc < 0.5 {
+		t.Errorf("full system accuracy = %v", full.ExecAcc)
+	}
+	if rows["- grounding (P2 off)"].ExecAcc > full.ExecAcc {
+		t.Errorf("grounding off should not beat full: %v > %v",
+			rows["- grounding (P2 off)"].ExecAcc, full.ExecAcc)
+	}
+	if got := rows["- provenance (P3 off)"].SourcedRate; got != 0 {
+		t.Errorf("provenance off but sourced rate = %v", got)
+	}
+	if got := rows["- guidance (P5 off)"].SuggestRate; got != 0 {
+		t.Errorf("guidance off but suggest rate = %v", got)
+	}
+	if full.SourcedRate == 0 || full.SuggestRate == 0 {
+		t.Errorf("full system missing annotations: %+v", full)
+	}
+	_ = r.Table().String()
+}
+
+func TestRunE9HybridDominates(t *testing.T) {
+	r, err := RunE9(120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]E9Row{}
+	for _, row := range r.Rows {
+		byMode[row.Mode] = row
+	}
+	lex := byMode["lexical (BM25)"]
+	dense := byMode["dense (embeddings)"]
+	hybrid := byMode["hybrid (RRF)"]
+	if dense.MismatchTop1 <= lex.MismatchTop1 {
+		t.Errorf("dense mismatch top1 %v <= lexical %v", dense.MismatchTop1, lex.MismatchTop1)
+	}
+	if hybrid.MRR < lex.MRR || hybrid.MRR < dense.MRR {
+		t.Errorf("hybrid MRR %v below a component (lex %v dense %v)", hybrid.MRR, lex.MRR, dense.MRR)
+	}
+	_ = r.Table().String()
+}
+
+func TestRunE10BiasDetection(t *testing.T) {
+	r, err := RunE10(3, 25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Precision < 0.99 {
+		t.Errorf("precision = %v (clean group flagged)", r.Precision)
+	}
+	if r.Recall < 0.99 {
+		t.Errorf("recall = %v (planted bias missed)", r.Recall)
+	}
+	_ = r.Table().String()
+}
+
+func TestRunE2SweepScaling(t *testing.T) {
+	p := workload.VectorParams{Queries: 20, Dim: 16, Clusters: 8, Spread: 1, Scale: 5, Seed: 3}
+	sweep, err := RunE2Sweep([]int{1000, 4000}, p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Results) != 2 {
+		t.Fatalf("results = %d", len(sweep.Results))
+	}
+	// Exact scan cost grows with n; find the exact row.
+	var small, large *E2Row
+	for i := range sweep.Results[0].Rows {
+		if sweep.Results[0].Rows[i].Method == "exact-scan" {
+			small = &sweep.Results[0].Rows[i]
+			large = &sweep.Results[1].Rows[i]
+		}
+	}
+	if small == nil || large == nil {
+		t.Fatal("exact-scan row missing")
+	}
+	if large.AvgComps <= small.AvgComps {
+		t.Errorf("exact comps did not grow: %v -> %v", small.AvgComps, large.AvgComps)
+	}
+	// Promise holds at both sizes.
+	for _, res := range sweep.Results {
+		for _, row := range res.Rows {
+			if !row.PromiseMet {
+				t.Errorf("promise failed at n=%d for %s", res.Params.N, row.Method)
+			}
+		}
+	}
+	_ = sweep.Table().String()
+}
+
+func TestRunScorecard(t *testing.T) {
+	sc, err := RunScorecard(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"P1": sc.P1Efficiency, "P2": sc.P2Grounding, "P3": sc.P3Explainability,
+		"P4": sc.P4Soundness, "P5": sc.P5Guidance, "System": sc.System,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v out of range", name, v)
+		}
+	}
+	// The full system should score highly on every property.
+	if sc.P3Explainability < 0.99 {
+		t.Errorf("P3 = %v", sc.P3Explainability)
+	}
+	if sc.P4Soundness < 0.9 {
+		t.Errorf("P4 = %v", sc.P4Soundness)
+	}
+	if sc.System < 0.7 {
+		t.Errorf("system score = %v", sc.System)
+	}
+	_ = sc.Table().String()
+}

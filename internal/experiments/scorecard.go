@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+// Scorecard is the composite system-reliability report the paper's
+// Evaluation section calls for ("new metrics are needed to assess
+// component and system reliability"): one normalized score per
+// property, each computed from the corresponding experiment, plus
+// their mean as the headline system score. Scores are in [0,1].
+type Scorecard struct {
+	// P1 Efficiency: progressive search's saving over the exact scan
+	// at its promised recall — 1 − (progressive comps / exact comps),
+	// i.e. the fraction of guaranteed-method work avoided.
+	P1Efficiency float64
+	// P2 Grounding: exec-accuracy gain grounding contributes on the
+	// synonym workload, normalized by the headroom it had.
+	P2Grounding float64
+	// P3 Explainability: fraction of answers that are lossless AND
+	// invertible.
+	P3Explainability float64
+	// P4 Soundness: 1 − (wrong-answer rate of the full pipeline) —
+	// confidently wrong answers are the failure this penalizes.
+	P4Soundness float64
+	// P5 Guidance: guided success minus unguided success.
+	P5Guidance float64
+	// System is the arithmetic mean of the five.
+	System float64
+}
+
+// RunScorecard computes all five property scores on reduced-size
+// workloads (it re-runs E2–E7 internals; expect a few seconds).
+func RunScorecard(seed int64) (*Scorecard, error) {
+	sc := &Scorecard{}
+
+	// P1 from E2.
+	p := workload.DefaultVectorParams()
+	p.N, p.Queries, p.Seed = 10000, 50, seed
+	e2, err := RunE2(p, 10)
+	if err != nil {
+		return nil, err
+	}
+	var exactComps, progComps float64
+	for _, row := range e2.Rows {
+		switch row.Method {
+		case "exact-scan":
+			exactComps = row.AvgComps
+		case "progressive(δ=0.9)":
+			progComps = row.AvgComps
+		}
+	}
+	if exactComps > 0 {
+		sc.P1Efficiency = clampScore(1 - progComps/exactComps)
+	}
+
+	// P2 from E3.
+	e3, err := RunE3(120, 0.8, 0.05, seed)
+	if err != nil {
+		return nil, err
+	}
+	headroom := 1 - e3.Without.ExecAccuracy
+	if headroom > 0 {
+		sc.P2Grounding = clampScore((e3.With.ExecAccuracy - e3.Without.ExecAccuracy) / headroom)
+	}
+
+	// P3 from E4.
+	e4, err := RunE4(120, seed)
+	if err != nil {
+		return nil, err
+	}
+	sc.P3Explainability = clampScore(e4.LosslessRate * e4.InvertibleRate)
+
+	// P4 from E7's full pipeline.
+	e7, err := RunE7(120, 0.3, 0.1, seed)
+	if err != nil {
+		return nil, err
+	}
+	full := e7.Stages[len(e7.Stages)-1]
+	sc.P4Soundness = clampScore(1 - full.WrongRate)
+
+	// P5 from E6.
+	e6, err := RunE6(10, 6, seed)
+	if err != nil {
+		return nil, err
+	}
+	sc.P5Guidance = clampScore(e6.GuidedSuccess - e6.RandomSuccess)
+
+	sc.System = (sc.P1Efficiency + sc.P2Grounding + sc.P3Explainability + sc.P4Soundness + sc.P5Guidance) / 5
+	return sc, nil
+}
+
+func clampScore(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Table renders the scorecard.
+func (sc *Scorecard) Table() *Table {
+	t := &Table{
+		Title:   "Scorecard — composite system reliability (each property in [0,1])",
+		Columns: []string{"property", "score", "derived from"},
+		Rows: [][]string{
+			{"P1 Efficiency", f2(sc.P1Efficiency), "work avoided vs exact scan at promised recall (E2)"},
+			{"P2 Grounding", f2(sc.P2Grounding), "accuracy headroom recovered on synonym questions (E3)"},
+			{"P3 Explainability", f2(sc.P3Explainability), "lossless × invertible answer rate (E4)"},
+			{"P4 Soundness", f2(sc.P4Soundness), "1 − confidently-wrong rate, full pipeline (E7)"},
+			{"P5 Guidance", f2(sc.P5Guidance), "guided − unguided goal success (E6)"},
+			{"SYSTEM", fmt.Sprintf("%.2f", sc.System), "mean of the five properties"},
+		},
+	}
+	return t
+}

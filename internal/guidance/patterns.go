@@ -1,0 +1,118 @@
+package guidance
+
+import (
+	"sort"
+	"strings"
+)
+
+// SequencePattern is one frequent contiguous action subsequence mined
+// from session logs, with its support (number of sessions containing
+// it).
+type SequencePattern struct {
+	Seq     []Action
+	Support int
+}
+
+// String renders the pattern as "discover → clarify → analyze".
+func (p SequencePattern) String() string {
+	parts := make([]string, len(p.Seq))
+	for i, a := range p.Seq {
+		parts[i] = string(a)
+	}
+	return strings.Join(parts, " → ")
+}
+
+// MinePatterns finds every contiguous action subsequence of length
+// 2..maxLen that appears in at least minSupport sessions, sorted by
+// (support desc, length desc, text). Each session counts a pattern at
+// most once. This is the "sequence summarization algorithms applied
+// to a set of conversations" the paper's explainability section
+// proposes for data-based interpretation of interaction logs.
+func MinePatterns(sessions [][]Action, minSupport, maxLen int) []SequencePattern {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	if maxLen < 2 {
+		maxLen = 2
+	}
+	support := map[string]int{}
+	seqOf := map[string][]Action{}
+	for _, sess := range sessions {
+		seen := map[string]bool{}
+		for length := 2; length <= maxLen; length++ {
+			for i := 0; i+length <= len(sess); i++ {
+				sub := sess[i : i+length]
+				key := patternKey(sub)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				support[key]++
+				if _, ok := seqOf[key]; !ok {
+					seqOf[key] = append([]Action{}, sub...)
+				}
+			}
+		}
+	}
+	var out []SequencePattern
+	for key, sup := range support {
+		if sup >= minSupport {
+			out = append(out, SequencePattern{Seq: seqOf[key], Support: sup})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if len(out[i].Seq) != len(out[j].Seq) {
+			return len(out[i].Seq) > len(out[j].Seq)
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+func patternKey(seq []Action) string {
+	parts := make([]string, len(seq))
+	for i, a := range seq {
+		parts[i] = string(a)
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// SummarizeSessions returns the single most representative pattern:
+// among patterns supported by at least half the sessions (or the
+// best-supported one when none reach half), the longest one. Returns
+// a zero pattern for empty input.
+func SummarizeSessions(sessions [][]Action) SequencePattern {
+	if len(sessions) == 0 {
+		return SequencePattern{}
+	}
+	maxLen := 0
+	for _, s := range sessions {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	patterns := MinePatterns(sessions, 1, maxLen)
+	if len(patterns) == 0 {
+		return SequencePattern{}
+	}
+	half := (len(sessions) + 1) / 2
+	var candidates []SequencePattern
+	for _, p := range patterns {
+		if p.Support >= half {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return patterns[0]
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if len(c.Seq) > len(best.Seq) || (len(c.Seq) == len(best.Seq) && c.Support > best.Support) {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,87 @@
+package guidance
+
+import (
+	"strings"
+	"testing"
+)
+
+func sessionsFixture() [][]Action {
+	return [][]Action{
+		{ActDiscover, ActClarify, ActDescribe, ActAnalyze},
+		{ActDiscover, ActClarify, ActAnalyze},
+		{ActDiscover, ActClarify, ActDescribe, ActAnalyze},
+		{ActQuery, ActQuery},
+		{ActDiscover, ActClarify, ActQuery},
+	}
+}
+
+func TestMinePatternsSupport(t *testing.T) {
+	patterns := MinePatterns(sessionsFixture(), 3, 4)
+	if len(patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+	// discover→clarify appears in 4 of 5 sessions and must rank first.
+	if patterns[0].String() != "discover → clarify" || patterns[0].Support != 4 {
+		t.Errorf("top pattern = %v (support %d)", patterns[0], patterns[0].Support)
+	}
+	for _, p := range patterns {
+		if p.Support < 3 {
+			t.Errorf("pattern %v below minSupport", p)
+		}
+		if len(p.Seq) < 2 {
+			t.Errorf("pattern %v too short", p)
+		}
+	}
+}
+
+func TestMinePatternsPerSessionDedup(t *testing.T) {
+	// A pattern repeating within one session counts once.
+	sessions := [][]Action{{ActQuery, ActQuery, ActQuery}}
+	patterns := MinePatterns(sessions, 1, 2)
+	for _, p := range patterns {
+		if p.String() == "query → query" && p.Support != 1 {
+			t.Errorf("support = %d, want 1", p.Support)
+		}
+	}
+}
+
+func TestMinePatternsEmpty(t *testing.T) {
+	if got := MinePatterns(nil, 1, 3); len(got) != 0 {
+		t.Errorf("patterns = %v", got)
+	}
+	if got := MinePatterns([][]Action{{ActQuery}}, 1, 3); len(got) != 0 {
+		t.Errorf("single-action session produced %v", got)
+	}
+}
+
+func TestSummarizeSessions(t *testing.T) {
+	got := SummarizeSessions(sessionsFixture())
+	// Supported by ≥ 3 of 5 sessions, longest such run is
+	// discover→clarify (4 sessions); discover→clarify→describe→analyze
+	// has support 2 < half.
+	if got.String() != "discover → clarify" {
+		t.Errorf("summary = %v (support %d)", got, got.Support)
+	}
+	// Homogeneous sessions summarize to the full path.
+	uniform := [][]Action{
+		{ActDiscover, ActClarify, ActAnalyze},
+		{ActDiscover, ActClarify, ActAnalyze},
+	}
+	got = SummarizeSessions(uniform)
+	if got.String() != "discover → clarify → analyze" {
+		t.Errorf("uniform summary = %v", got)
+	}
+	if SummarizeSessions(nil).Support != 0 {
+		t.Error("empty summary must be zero")
+	}
+}
+
+func TestPatternStringAndKey(t *testing.T) {
+	p := SequencePattern{Seq: []Action{ActDiscover, ActDone}}
+	if !strings.Contains(p.String(), "→") {
+		t.Errorf("string = %q", p.String())
+	}
+	if patternKey(p.Seq) == patternKey([]Action{ActDiscover, ActQuery}) {
+		t.Error("distinct sequences share a key")
+	}
+}

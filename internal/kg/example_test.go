@@ -1,0 +1,25 @@
+package kg_test
+
+import (
+	"fmt"
+
+	"github.com/reliable-cda/cda/internal/kg"
+)
+
+func Example() {
+	st := kg.NewStore()
+	st.Add(kg.Triple{S: "ex:Barometer", P: kg.PredType, O: "ex:Indicator", Source: "catalog"})
+	st.Add(kg.Triple{S: "ex:Indicator", P: kg.PredSubClassOf, O: "ex:Dataset", Source: "ontology"})
+	st.Add(kg.Triple{S: "ex:Barometer", P: kg.PredLabel, O: "Labour Market Barometer", Source: "catalog"})
+	st.Infer() // materialize the RDFS closure
+
+	_, rows, err := st.Select(`SELECT ?label WHERE { ?x a ex:Dataset . ?x rdfs:label ?label }`)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		fmt.Println(r[0])
+	}
+	// Output:
+	// Labour Market Barometer
+}

@@ -1,0 +1,241 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SelectQuery is a parsed SPARQL-lite SELECT query.
+type SelectQuery struct {
+	Vars     []string // projected variables, with '?' prefix; nil = SELECT *
+	Star     bool
+	Distinct bool
+	Patterns []Pattern
+}
+
+// ParseSPARQL parses the SPARQL subset
+//
+//	SELECT [DISTINCT] (?v ... | *) WHERE { s p o . s p o ... }
+//
+// Terms are variables (?x), quoted literals ("text", object position
+// only), or plain IRIs/CURIEs (ex:Barometer, rdf:type). The keyword
+// `a` abbreviates rdf:type. Dots separate patterns; a trailing dot is
+// allowed.
+func ParseSPARQL(query string) (*SelectQuery, error) {
+	toks, err := sparqlLex(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &sparqlParser{toks: toks}
+	q := &SelectQuery{}
+	if !p.acceptKeyword("SELECT") {
+		return nil, fmt.Errorf("kg: expected SELECT")
+	}
+	q.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("kg: unexpected end of query in projection")
+		}
+		if t == "*" {
+			if len(q.Vars) > 0 {
+				return nil, fmt.Errorf("kg: cannot mix * with variables")
+			}
+			p.next()
+			q.Star = true
+			break
+		}
+		if strings.EqualFold(t, "WHERE") {
+			break
+		}
+		if !strings.HasPrefix(t, "?") {
+			return nil, fmt.Errorf("kg: expected variable or * in projection, got %q", t)
+		}
+		q.Vars = append(q.Vars, p.next())
+	}
+	if !q.Star && len(q.Vars) == 0 {
+		return nil, fmt.Errorf("kg: empty projection")
+	}
+	if !p.acceptKeyword("WHERE") {
+		return nil, fmt.Errorf("kg: expected WHERE")
+	}
+	if !p.accept("{") {
+		return nil, fmt.Errorf("kg: expected '{'")
+	}
+	for {
+		if p.accept("}") {
+			break
+		}
+		var terms [3]string
+		for i := 0; i < 3; i++ {
+			t, ok := p.peek()
+			if !ok || t == "}" || t == "." {
+				return nil, fmt.Errorf("kg: incomplete triple pattern")
+			}
+			term := p.next()
+			if term == "a" && i == 1 {
+				term = PredType
+			}
+			if i != 2 && strings.HasPrefix(term, "\x00lit:") {
+				return nil, fmt.Errorf("kg: literals are only allowed in object position")
+			}
+			terms[i] = strings.TrimPrefix(term, "\x00lit:")
+		}
+		q.Patterns = append(q.Patterns, Pattern{S: terms[0], P: terms[1], O: terms[2]})
+		p.accept(".") // optional separator / trailing dot
+	}
+	if t, ok := p.peek(); ok {
+		return nil, fmt.Errorf("kg: trailing input %q", t)
+	}
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("kg: empty WHERE clause")
+	}
+	// Every projected variable must occur in some pattern.
+	if !q.Star {
+		used := map[string]bool{}
+		for _, pat := range q.Patterns {
+			for _, term := range []string{pat.S, pat.P, pat.O} {
+				if IsVar(term) {
+					used[term] = true
+				}
+			}
+		}
+		for _, v := range q.Vars {
+			if !used[v] {
+				return nil, fmt.Errorf("kg: projected variable %s not used in WHERE", v)
+			}
+		}
+	}
+	return q, nil
+}
+
+// sparqlLex splits the query into tokens; quoted literals become one
+// token marked with a private prefix so the parser can distinguish
+// them from IRIs.
+func sparqlLex(query string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(query) {
+		c := query[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < len(query) {
+				if query[j] == '\\' && j+1 < len(query) {
+					sb.WriteByte(query[j+1])
+					j += 2
+					continue
+				}
+				if query[j] == '"' {
+					closed = true
+					j++
+					break
+				}
+				sb.WriteByte(query[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("kg: unterminated literal")
+			}
+			toks = append(toks, "\x00lit:"+sb.String())
+			i = j
+		case c == '{' || c == '}' || c == '.':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(query) && !strings.ContainsRune(" \t\n\r{}.\"", rune(query[j])) {
+				j++
+			}
+			toks = append(toks, query[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type sparqlParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *sparqlParser) peek() (string, bool) {
+	if p.pos >= len(p.toks) {
+		return "", false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *sparqlParser) next() string {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *sparqlParser) accept(tok string) bool {
+	if t, ok := p.peek(); ok && t == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sparqlParser) acceptKeyword(kw string) bool {
+	if t, ok := p.peek(); ok && strings.EqualFold(t, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// Select parses and evaluates a SPARQL-lite query, returning one row
+// per solution with values in projection order. SELECT * projects all
+// variables in first-appearance order.
+func (st *Store) Select(query string) (vars []string, rows [][]string, err error) {
+	q, err := ParseSPARQL(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	vars = q.Vars
+	if q.Star {
+		seen := map[string]bool{}
+		for _, pat := range q.Patterns {
+			for _, term := range []string{pat.S, pat.P, pat.O} {
+				if IsVar(term) && !seen[term] {
+					seen[term] = true
+					vars = append(vars, term)
+				}
+			}
+		}
+	}
+	bindings := st.Query(q.Patterns)
+	dedup := map[string]bool{}
+	for _, b := range bindings {
+		row := make([]string, len(vars))
+		for i, v := range vars {
+			row[i] = b[v]
+		}
+		if q.Distinct {
+			key := strings.Join(row, "\x1f")
+			if dedup[key] {
+				continue
+			}
+			dedup[key] = true
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+	return vars, rows, nil
+}

@@ -1,0 +1,166 @@
+package kg
+
+import "testing"
+
+func TestParseSPARQLBasics(t *testing.T) {
+	q, err := ParseSPARQL(`SELECT ?x ?label WHERE { ?x rdf:type ex:Indicator . ?x rdfs:label ?label }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Vars) != 2 || q.Vars[0] != "?x" || q.Vars[1] != "?label" {
+		t.Errorf("vars = %v", q.Vars)
+	}
+	if len(q.Patterns) != 2 || q.Patterns[0].P != "rdf:type" {
+		t.Errorf("patterns = %v", q.Patterns)
+	}
+}
+
+func TestParseSPARQLAKeyword(t *testing.T) {
+	q, err := ParseSPARQL(`SELECT ?x WHERE { ?x a ex:Indicator }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].P != PredType {
+		t.Errorf("a not expanded: %v", q.Patterns[0])
+	}
+}
+
+func TestParseSPARQLLiteral(t *testing.T) {
+	q, err := ParseSPARQL(`SELECT ?x WHERE { ?x rdfs:label "Swiss Labour Market Barometer" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].O != "Swiss Labour Market Barometer" {
+		t.Errorf("literal = %q", q.Patterns[0].O)
+	}
+}
+
+func TestParseSPARQLEscapedLiteral(t *testing.T) {
+	q, err := ParseSPARQL(`SELECT ?x WHERE { ?x rdfs:label "say \"hi\"" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].O != `say "hi"` {
+		t.Errorf("literal = %q", q.Patterns[0].O)
+	}
+}
+
+func TestParseSPARQLErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`ASK { ?x ?p ?o }`,
+		`SELECT WHERE { ?x ?p ?o }`,
+		`SELECT ?x { ?x ?p ?o }`,
+		`SELECT ?x WHERE ?x ?p ?o }`,
+		`SELECT ?x WHERE { ?x ?p }`,
+		`SELECT ?x WHERE { }`,
+		`SELECT ?x WHERE { ?y ?p ?o }`,
+		`SELECT ?x WHERE { ?x ?p ?o } trailing`,
+		`SELECT ?x WHERE { "lit" ?p ?o }`,
+		`SELECT ?x * WHERE { ?x ?p ?o }`,
+		`SELECT ?x WHERE { ?x ?p "unterminated }`,
+	}
+	for _, q := range bad {
+		if _, err := ParseSPARQL(q); err == nil {
+			t.Errorf("ParseSPARQL(%q) should fail", q)
+		}
+	}
+}
+
+func TestSelectExecutes(t *testing.T) {
+	st := buildStore()
+	vars, rows, err := st.Select(`SELECT ?label WHERE { ?x rdf:type ex:Indicator . ?x rdfs:label ?label }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 1 || len(rows) != 1 || rows[0][0] != "Swiss Labour Market Barometer" {
+		t.Errorf("vars=%v rows=%v", vars, rows)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	st := buildStore()
+	vars, rows, err := st.Select(`SELECT * WHERE { ?x ex:measures ?what }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 2 || vars[0] != "?x" || vars[1] != "?what" {
+		t.Errorf("vars = %v", vars)
+	}
+	if len(rows) != 1 || rows[0][0] != "ex:Barometer" || rows[0][1] != "ex:Employment" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	st := NewStore()
+	st.Add(Triple{S: "a", P: "p", O: "x"})
+	st.Add(Triple{S: "b", P: "p", O: "x"})
+	_, rows, err := st.Select(`SELECT DISTINCT ?o WHERE { ?s p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("distinct rows = %v", rows)
+	}
+	_, rows, _ = st.Select(`SELECT ?o WHERE { ?s p ?o }`)
+	if len(rows) != 2 {
+		t.Errorf("non-distinct rows = %v", rows)
+	}
+}
+
+func TestSelectLiteralFilter(t *testing.T) {
+	st := buildStore()
+	_, rows, err := st.Select(`SELECT ?x WHERE { ?x rdfs:label "Swiss Labour Market Barometer" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "ex:Barometer" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestSelectAfterInference(t *testing.T) {
+	st := buildStore()
+	st.Infer()
+	_, rows, err := st.Select(`SELECT ?x WHERE { ?x a ex:Resource }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "ex:Barometer" {
+		t.Errorf("inferred-type query rows = %v", rows)
+	}
+}
+
+func TestSelectDeterministicOrder(t *testing.T) {
+	st := buildStore()
+	_, r1, _ := st.Select(`SELECT ?s WHERE { ?s ?p ?o }`)
+	_, r2, _ := st.Select(`SELECT ?s WHERE { ?s ?p ?o }`)
+	if len(r1) != len(r2) {
+		t.Fatal("row count differs")
+	}
+	for i := range r1 {
+		if r1[i][0] != r2[i][0] {
+			t.Fatal("row order not deterministic")
+		}
+	}
+}
+
+// Property: the SPARQL parser never panics on arbitrary input.
+func TestSPARQLNeverPanics(t *testing.T) {
+	inputs := []string{
+		"", "SELECT", "SELECT *", "SELECT * WHERE {", "SELECT ?x WHERE { ?x",
+		"SELECT ?x WHERE { \"", "}{", "SELECT ?x WHERE { . . . }",
+		"SELECT ?x WHERE { a a a } extra", "SELECT * WHERE { ?s ?p \"unclosed }",
+	}
+	for _, in := range inputs {
+		func(q string) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", q, r)
+				}
+			}()
+			_, _ = ParseSPARQL(q)
+		}(in)
+	}
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Bootstrap computes a percentile-bootstrap confidence interval for
+// the mean of values: B resamples with replacement, interval at the
+// given level (e.g. 0.95). Deterministic in seed. With fewer than 2
+// values the interval collapses to the (single) mean.
+func Bootstrap(values []float64, b int, level float64, seed int64) (lo, hi float64, err error) {
+	if len(values) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if b < 1 {
+		b = 1000
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if len(values) == 1 {
+		return values[0], values[0], nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, b)
+	sample := make([]float64, len(values))
+	for i := 0; i < b; i++ {
+		for j := range sample {
+			sample[j] = values[rng.Intn(len(values))]
+		}
+		means[i] = mean(sample)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(b))
+	hiIdx := int((1 - alpha) * float64(b))
+	if hiIdx >= b {
+		hiIdx = b - 1
+	}
+	return means[loIdx], means[hiIdx], nil
+}

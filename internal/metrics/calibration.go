@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Prediction pairs a confidence estimate in [0,1] with whether the
+// prediction was actually correct. It is the unit of every calibration
+// measure in this package.
+type Prediction struct {
+	Confidence float64
+	Correct    bool
+}
+
+// ECE computes the Expected Calibration Error over equal-width bins:
+// the weighted mean absolute gap between per-bin mean confidence and
+// per-bin accuracy. bins must be >= 1.
+func ECE(preds []Prediction, bins int) (float64, error) {
+	if len(preds) == 0 {
+		return 0, ErrEmpty
+	}
+	if bins < 1 {
+		bins = 10
+	}
+	type bin struct {
+		n       int
+		sumConf float64
+		correct int
+	}
+	bs := make([]bin, bins)
+	for _, p := range preds {
+		i := int(p.Confidence * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		bs[i].n++
+		bs[i].sumConf += p.Confidence
+		if p.Correct {
+			bs[i].correct++
+		}
+	}
+	var ece float64
+	n := float64(len(preds))
+	for _, b := range bs {
+		if b.n == 0 {
+			continue
+		}
+		acc := float64(b.correct) / float64(b.n)
+		conf := b.sumConf / float64(b.n)
+		ece += float64(b.n) / n * math.Abs(acc-conf)
+	}
+	return ece, nil
+}
+
+// Brier computes the Brier score: mean squared distance between the
+// confidence and the 0/1 correctness outcome. Lower is better.
+func Brier(preds []Prediction) (float64, error) {
+	if len(preds) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, p := range preds {
+		y := 0.0
+		if p.Correct {
+			y = 1.0
+		}
+		d := p.Confidence - y
+		sum += d * d
+	}
+	return sum / float64(len(preds)), nil
+}
+
+// RiskCoveragePoint is one point on a selective-prediction curve: at
+// the given confidence Threshold the system answers a Coverage fraction
+// of queries and commits Risk (error rate) on the answered subset.
+type RiskCoveragePoint struct {
+	Threshold float64
+	Coverage  float64
+	Risk      float64
+}
+
+// RiskCoverage sweeps abstention thresholds over the distinct observed
+// confidences (descending) and returns the induced risk–coverage
+// curve. The first point is the most selective non-empty one; the last
+// answers everything (threshold 0).
+func RiskCoverage(preds []Prediction) ([]RiskCoveragePoint, error) {
+	if len(preds) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]Prediction, len(preds))
+	copy(sorted, preds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Confidence > sorted[j].Confidence })
+	n := float64(len(sorted))
+	var curve []RiskCoveragePoint
+	wrong := 0
+	for i, p := range sorted {
+		if !p.Correct {
+			wrong++
+		}
+		// Emit a point at each confidence boundary (last of a run of
+		// equal confidences).
+		if i+1 < len(sorted) && sorted[i+1].Confidence == p.Confidence {
+			continue
+		}
+		curve = append(curve, RiskCoveragePoint{
+			Threshold: p.Confidence,
+			Coverage:  float64(i+1) / n,
+			Risk:      float64(wrong) / float64(i+1),
+		})
+	}
+	return curve, nil
+}
+
+// AURC returns the area under the risk–coverage curve (lower is
+// better), integrated by the trapezoid rule over coverage.
+func AURC(preds []Prediction) (float64, error) {
+	curve, err := RiskCoverage(preds)
+	if err != nil {
+		return 0, err
+	}
+	var area, prevCov, prevRisk float64
+	for _, p := range curve {
+		area += (p.Coverage - prevCov) * (p.Risk + prevRisk) / 2
+		prevCov, prevRisk = p.Coverage, p.Risk
+	}
+	return area, nil
+}
+
+// SelectiveAccuracy returns coverage and accuracy when abstaining below
+// the threshold. Accuracy is reported as 1 (vacuous) when nothing is
+// answered, with coverage 0, so callers can detect the empty case.
+func SelectiveAccuracy(preds []Prediction, threshold float64) (coverage, accuracy float64) {
+	answered, correct := 0, 0
+	for _, p := range preds {
+		if p.Confidence >= threshold {
+			answered++
+			if p.Correct {
+				correct++
+			}
+		}
+	}
+	if answered == 0 {
+		return 0, 1
+	}
+	return float64(answered) / float64(len(preds)), float64(correct) / float64(answered)
+}

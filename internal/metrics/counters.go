@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates durations and reports order statistics.
+// It is safe for concurrent use, so parallel benchmark bodies can share
+// one recorder.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one duration sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Time runs fn and records its wall-clock duration.
+func (r *LatencyRecorder) Time(fn func()) {
+	start := time.Now()
+	fn()
+	r.Record(time.Since(start))
+}
+
+// Count returns the number of recorded samples.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Mean returns the average recorded duration, or 0 with no samples.
+func (r *LatencyRecorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(r.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank on a sorted copy; 0 with no samples.
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(r.samples))
+	copy(sorted, r.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Summary formats count/mean/p50/p95/p99 on one line.
+func (r *LatencyRecorder) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v",
+		r.Count(), r.Mean(), r.Percentile(50), r.Percentile(95), r.Percentile(99))
+}
+
+// OpsCounter counts named operations (distance computations, rows
+// scanned, tokens generated, ...). Safe for concurrent use.
+type OpsCounter struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// Add increments the named counter by n.
+func (c *OpsCounter) Add(name string, n int64) {
+	c.mu.Lock()
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += n
+	c.mu.Unlock()
+}
+
+// Get returns the value of the named counter (0 if never incremented).
+func (c *OpsCounter) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Reset zeroes all counters.
+func (c *OpsCounter) Reset() {
+	c.mu.Lock()
+	c.counts = nil
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of all counters, sorted-key iteration safe.
+func (c *OpsCounter) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package nl2sql
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Follow-up patterns: elliptical utterances that only make sense
+// against the previous question's frame — the paper's "maintains
+// context, allowing follow-up questions and iterative refinement of
+// analyses".
+var (
+	// "and in Bern" / "what about Geneva" / "how about part_time"
+	reFollowValue = regexp.MustCompile(`(?i)^(?:and|what about|how about)\s+(?:in|for)?\s*(.+)$`)
+	// "and where canton is Bern"
+	reFollowWhere = regexp.MustCompile(`(?i)^(?:and|what about|how about)\s+where\s+(.+?)\s+is\s+(.+)$`)
+	// "and the maximum" / "what about the average salary"
+	reFollowAgg = regexp.MustCompile(`(?i)^(?:and|what about|how about)\s+the\s+(average|total|maximum|minimum)(?:\s+(.+))?$`)
+)
+
+// ParseFollowUp interprets an elliptical utterance as a patch to the
+// previous frame. It returns an error when there is no previous frame
+// or the utterance is not a recognizable follow-up.
+func ParseFollowUp(question string, prev *Frame) (*Frame, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("nl2sql: no previous question to follow up on")
+	}
+	q := normalize(question)
+	patched := *prev
+
+	if m := reFollowWhere.FindStringSubmatch(q); m != nil {
+		patched.FilterCol, patched.FilterVal = m[1], m[2]
+		return &patched, nil
+	}
+	if m := reFollowAgg.FindStringSubmatch(q); m != nil {
+		patched.Agg = aggWords[strings.ToLower(m[1])]
+		if patched.Agg == AggNone {
+			return nil, fmt.Errorf("nl2sql: unknown aggregate in follow-up %q", question)
+		}
+		if m[2] != "" {
+			patched.TargetPhr = m[2]
+		}
+		if patched.TargetPhr == "" {
+			return nil, fmt.Errorf("nl2sql: aggregate follow-up needs a column (previous question had none)")
+		}
+		patched.ListColumns = nil
+		return &patched, nil
+	}
+	if m := reFollowValue.FindStringSubmatch(q); m != nil {
+		if prev.FilterCol == "" {
+			return nil, fmt.Errorf("nl2sql: value follow-up %q needs a previous filter to patch", question)
+		}
+		patched.FilterVal = strings.TrimSpace(m[1])
+		return &patched, nil
+	}
+	return nil, fmt.Errorf("nl2sql: %q is not a recognizable follow-up", question)
+}
+
+// TranslateWithContext translates the question, falling back to
+// follow-up interpretation against prev when the question is not a
+// complete intent on its own. The returned frame is the one actually
+// used, so callers can thread it into the next turn.
+func (t *Translator) TranslateWithContext(question string, prev *Frame) (*Translation, *Frame, error) {
+	frame, err := ParseIntent(question)
+	if err != nil {
+		frame, err = ParseFollowUp(question, prev)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	tr, err := t.translateFrame(question, frame)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, frame, nil
+}

@@ -1,0 +1,140 @@
+package nl2sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func prevFrame() *Frame {
+	return &Frame{Agg: AggCount, TablePhr: "employees", FilterCol: "department", FilterVal: "Engineering"}
+}
+
+func TestFollowUpValuePatch(t *testing.T) {
+	f, err := ParseFollowUp("and in Sales?", prevFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FilterVal != "Sales" || f.FilterCol != "department" || f.Agg != AggCount {
+		t.Errorf("frame = %+v", f)
+	}
+	// The previous frame must not be mutated.
+	if prev := prevFrame(); prev.FilterVal != "Engineering" {
+		t.Error("prototype mutated")
+	}
+}
+
+func TestFollowUpWhatAbout(t *testing.T) {
+	f, err := ParseFollowUp("what about Support", prevFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FilterVal != "Support" {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestFollowUpWherePatch(t *testing.T) {
+	f, err := ParseFollowUp("and where city is Zurich", prevFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FilterCol != "city" || f.FilterVal != "Zurich" {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestFollowUpAggPatch(t *testing.T) {
+	prev := &Frame{Agg: AggAvg, TargetPhr: "salary", TablePhr: "employees"}
+	f, err := ParseFollowUp("and the maximum?", prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Agg != AggMax || f.TargetPhr != "salary" {
+		t.Errorf("frame = %+v", f)
+	}
+	f, err = ParseFollowUp("and the minimum age", prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Agg != AggMin || f.TargetPhr != "age" {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestFollowUpErrors(t *testing.T) {
+	if _, err := ParseFollowUp("and in Bern", nil); err == nil {
+		t.Error("nil prev must error")
+	}
+	// Value follow-up without a previous filter.
+	if _, err := ParseFollowUp("and in Bern", &Frame{Agg: AggCount, TablePhr: "t"}); err == nil {
+		t.Error("value patch without filter must error")
+	}
+	// Aggregate follow-up with no target column anywhere.
+	if _, err := ParseFollowUp("and the maximum", &Frame{Agg: AggCount, TablePhr: "t", FilterCol: "c", FilterVal: "v"}); err == nil {
+		t.Error("agg patch without target must error")
+	}
+	if _, err := ParseFollowUp("completely unrelated", prevFrame()); err == nil {
+		t.Error("non-followup must error")
+	}
+}
+
+func TestTranslateWithContext(t *testing.T) {
+	db := fixtureDB()
+	tr := cleanTranslator(db)
+	out, frame, err := tr.TranslateWithContext("how many employees where department is Engineering", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Rows[0][0].I != 2 {
+		t.Fatalf("count = %v", out.Result.Rows[0][0])
+	}
+	out2, frame2, err := tr.TranslateWithContext("and in Sales?", frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Result.Rows[0][0].I != 1 {
+		t.Errorf("follow-up count = %v", out2.Result.Rows[0][0])
+	}
+	if frame2.FilterVal != "Sales" {
+		t.Errorf("frame2 = %+v", frame2)
+	}
+	if !strings.Contains(out2.SQL, "Sales") {
+		t.Errorf("sql = %q", out2.SQL)
+	}
+	// Chained follow-up off the patched frame.
+	out3, _, err := tr.TranslateWithContext("and the average salary", frame2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3.Result.Rows[0][0].F != 100 {
+		t.Errorf("chained follow-up = %v", out3.Result.Rows[0][0])
+	}
+}
+
+func TestTranslateWithContextNoContext(t *testing.T) {
+	db := fixtureDB()
+	tr := cleanTranslator(db)
+	if _, _, err := tr.TranslateWithContext("and in Sales?", nil); err == nil {
+		t.Error("follow-up without context must error")
+	}
+}
+
+// Property: intent parsing never panics on arbitrary questions.
+func TestParseIntentNeverPanics(t *testing.T) {
+	inputs := []string{
+		"", "how many", "how many ?", "what is the average in",
+		"list the of", "and in", "what about", strings.Repeat("x ", 500),
+		"how many a where b is", "what is the maximum  in  where  is ",
+	}
+	for _, in := range inputs {
+		func(q string) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", q, r)
+				}
+			}()
+			_, _ = ParseIntent(q)
+			_, _ = ParseFollowUp(q, prevFrame())
+		}(in)
+	}
+}

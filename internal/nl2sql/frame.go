@@ -1,0 +1,186 @@
+// Package nl2sql implements the verifiable natural-language-to-SQL
+// pipeline at the heart of the CDA NL-model layer. It is built as a
+// ladder of reliability stages so E7 can ablate them:
+//
+//	base          — a semantic parser plus a simulated noisy LLM
+//	                channel: surface forms are used literally as
+//	                identifiers and tokens may be hallucinated.
+//	+grounding    — surface forms are resolved to real tables/columns
+//	                through internal/ground (P2).
+//	+constrained  — generated token streams are repaired against the
+//	                schema and the SQL grammar (constrained decoding /
+//	                rejection sampling, P4).
+//	+verification — multiple samples are executed on the real engine
+//	                and the answer is the majority result fingerprint;
+//	                with no executable candidate the system abstains
+//	                (P4 Soundness; confidence = agreement).
+package nl2sql
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Aggregate intent.
+type Aggregate string
+
+// Supported aggregates.
+const (
+	AggNone  Aggregate = ""
+	AggCount Aggregate = "COUNT"
+	AggSum   Aggregate = "SUM"
+	AggAvg   Aggregate = "AVG"
+	AggMin   Aggregate = "MIN"
+	AggMax   Aggregate = "MAX"
+)
+
+// Frame is the intermediate semantic representation extracted from a
+// question: what to compute, over which table, filtered and grouped
+// how. Phrases are raw surface forms; identifier resolution happens
+// at render time (that is where grounding enters).
+type Frame struct {
+	Agg         Aggregate
+	TargetPhr   string // column phrase ("" with AggCount over rows)
+	TablePhr    string
+	FilterCol   string // surface phrase
+	FilterVal   string // literal text
+	GroupPhr    string
+	ListColumns []string // for list/projection questions
+}
+
+var (
+	reCount = regexp.MustCompile(`(?i)^how many (.+?)(?: where (.+?) is (.+?))?(?: by (.+))?$`)
+	reAgg   = regexp.MustCompile(`(?i)^what is the (average|total|maximum|minimum) (.+?) in (.+?)(?: where (.+?) is (.+?))?(?: by (.+))?$`)
+	reList  = regexp.MustCompile(`(?i)^list the (.+?) of (.+?)(?: where (.+?) is (.+))?$`)
+)
+
+var aggWords = map[string]Aggregate{
+	"average": AggAvg,
+	"total":   AggSum,
+	"maximum": AggMax,
+	"minimum": AggMin,
+}
+
+// ParseIntent extracts a Frame from a question in the workload's
+// controlled natural language. It returns an error for questions
+// outside the grammar — the dialogue layer then asks for
+// clarification instead of guessing (P5).
+func ParseIntent(question string) (*Frame, error) {
+	q := normalize(question)
+	if m := reAgg.FindStringSubmatch(q); m != nil {
+		f := &Frame{Agg: aggWords[strings.ToLower(m[1])], TargetPhr: m[2], TablePhr: m[3]}
+		f.FilterCol, f.FilterVal = m[4], m[5]
+		f.GroupPhr = m[6]
+		return f, nil
+	}
+	if m := reCount.FindStringSubmatch(q); m != nil {
+		f := &Frame{Agg: AggCount, TablePhr: m[1]}
+		f.FilterCol, f.FilterVal = m[2], m[3]
+		f.GroupPhr = m[4]
+		return f, nil
+	}
+	if m := reList.FindStringSubmatch(q); m != nil {
+		f := &Frame{ListColumns: splitAnd(m[1]), TablePhr: m[2]}
+		f.FilterCol, f.FilterVal = m[3], m[4]
+		return f, nil
+	}
+	return nil, fmt.Errorf("nl2sql: question %q does not match any supported intent", question)
+}
+
+// normalize trims punctuation and collapses whitespace but preserves
+// case: filter values like "Engineering" must survive verbatim, since
+// string equality in the engine is case-sensitive.
+func normalize(q string) string {
+	q = strings.TrimSpace(q)
+	q = strings.TrimSuffix(q, "?")
+	q = strings.TrimSuffix(q, ".")
+	q = strings.Join(strings.Fields(q), " ")
+	return q
+}
+
+func splitAnd(phrase string) []string {
+	parts := regexp.MustCompile(`\s*(?:,|\band\b)\s*`).Split(phrase, -1)
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Resolver maps surface phrases to schema identifiers. The ungrounded
+// baseline uses LiteralResolver; the grounded pipeline uses
+// GroundedResolver.
+type Resolver interface {
+	// Table resolves a table phrase to a table name.
+	Table(phrase string) string
+	// Column resolves a column phrase to a column name within the
+	// given table.
+	Column(table, phrase string) string
+	// Value resolves a filter literal to its canonical stored form
+	// (value grounding: "engineering" → "Engineering").
+	Value(table, column, raw string) string
+}
+
+// LiteralResolver turns phrases into identifiers verbatim
+// (spaces → underscores) — what an ungrounded model does with
+// domain vocabulary it has never seen.
+type LiteralResolver struct{}
+
+// Table joins the phrase with underscores.
+func (LiteralResolver) Table(phrase string) string {
+	return strings.ReplaceAll(strings.TrimSpace(phrase), " ", "_")
+}
+
+// Column joins the phrase with underscores.
+func (LiteralResolver) Column(_, phrase string) string {
+	return strings.ReplaceAll(strings.TrimSpace(phrase), " ", "_")
+}
+
+// Value returns the literal unchanged.
+func (LiteralResolver) Value(_, _, raw string) string { return raw }
+
+// Render generates the SQL text for a frame using the resolver.
+func (f *Frame) Render(r Resolver) string {
+	table := r.Table(f.TablePhr)
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	switch {
+	case len(f.ListColumns) > 0:
+		cols := make([]string, len(f.ListColumns))
+		for i, c := range f.ListColumns {
+			cols[i] = r.Column(table, c)
+		}
+		sb.WriteString(strings.Join(cols, ", "))
+	case f.Agg == AggCount && f.TargetPhr == "":
+		if f.GroupPhr != "" {
+			sb.WriteString(r.Column(table, f.GroupPhr) + ", ")
+		}
+		sb.WriteString("COUNT(*)")
+	default:
+		if f.GroupPhr != "" {
+			sb.WriteString(r.Column(table, f.GroupPhr) + ", ")
+		}
+		sb.WriteString(string(f.Agg) + "(" + r.Column(table, f.TargetPhr) + ")")
+	}
+	sb.WriteString(" FROM " + table)
+	if f.FilterCol != "" {
+		col := r.Column(table, f.FilterCol)
+		val := r.Value(table, col, f.FilterVal)
+		if !isNumber(val) {
+			val = "'" + strings.ReplaceAll(val, "'", "''") + "'"
+		}
+		sb.WriteString(" WHERE " + col + " = " + val)
+	}
+	if f.GroupPhr != "" && len(f.ListColumns) == 0 {
+		sb.WriteString(" GROUP BY " + r.Column(table, f.GroupPhr))
+	}
+	return sb.String()
+}
+
+var reNumber = regexp.MustCompile(`^-?\d+(\.\d+)?$`)
+
+func isNumber(s string) bool { return reNumber.MatchString(strings.TrimSpace(s)) }

@@ -1,0 +1,418 @@
+package nl2sql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/ground"
+	"github.com/reliable-cda/cda/internal/nlmodel"
+	"github.com/reliable-cda/cda/internal/sqldb"
+	"github.com/reliable-cda/cda/internal/storage"
+)
+
+// Options toggles the reliability stages (the E7 ablation axes).
+type Options struct {
+	UseGrounding    bool
+	UseConstrained  bool
+	UseVerification bool
+	// UseReranking selects each emitted candidate as the
+	// reward-maximizing member of a sampled pool (reward-augmented
+	// decoding) instead of a single draw.
+	UseReranking bool
+	// RerankPool is the pool size per emitted candidate (default 4).
+	RerankPool int
+	// Samples is the number of candidates drawn when verification is
+	// on (self-consistency); 1 otherwise.
+	Samples int
+	// MaxRepairAttempts bounds rejection sampling per candidate.
+	MaxRepairAttempts int
+}
+
+// DefaultOptions enables the full reliable pipeline.
+func DefaultOptions() Options {
+	return Options{
+		UseGrounding: true, UseConstrained: true, UseVerification: true,
+		UseReranking: true, RerankPool: 4,
+		Samples: 5, MaxRepairAttempts: 3,
+	}
+}
+
+// Translation is the outcome of translating one question.
+type Translation struct {
+	SQL        string
+	Result     *sqldb.Result // nil unless executed
+	Confidence float64       // agreement fraction under verification
+	Abstained  bool
+	Candidates []string // every sampled candidate (post-repair)
+	Notes      []string // human-readable stage log for explanations
+	// Votes holds the sizes of the semantic clusters (distinct result
+	// fingerprints) among executed samples, winner first, for
+	// entropy-based uncertainty quantification.
+	Votes []int
+}
+
+// Tables returns the base tables of the chosen SQL (FROM plus JOINs),
+// which the core pipeline cites as the answer's sources. It returns
+// nil when the SQL does not parse.
+func (t *Translation) Tables() []string {
+	stmt, err := sqldb.Parse(t.SQL)
+	if err != nil {
+		return nil
+	}
+	out := []string{stmt.From}
+	for _, j := range stmt.Joins {
+		out = append(out, j.Table)
+	}
+	return out
+}
+
+// Translator is the NL→SQL component. Configure the channel's
+// HallucinationRate to model a weaker or stronger underlying LLM.
+type Translator struct {
+	DB       *storage.Database
+	Engine   *sqldb.Engine
+	Grounder *ground.Grounder // used when Options.UseGrounding
+	Channel  nlmodel.Channel
+	Options  Options
+	Seed     int64
+
+	reranker *Reranker // lazily built when Options.UseReranking
+}
+
+// NewTranslator wires a translator over a database with the full
+// pipeline enabled and a default noisy channel.
+func NewTranslator(db *storage.Database, g *ground.Grounder, seed int64) *Translator {
+	return &Translator{
+		DB:       db,
+		Engine:   sqldb.NewEngine(db),
+		Grounder: g,
+		Channel:  nlmodel.Channel{HallucinationRate: 0.08},
+		Options:  DefaultOptions(),
+		Seed:     seed,
+	}
+}
+
+// GroundedResolver resolves phrases through the grounding layer,
+// falling back to literal resolution when nothing links.
+type GroundedResolver struct {
+	G  *ground.Grounder
+	DB *storage.Database
+}
+
+// Table picks the best schema link whose table matches the phrase.
+func (r GroundedResolver) Table(phrase string) string {
+	for _, l := range r.G.LinkSchema(phrase) {
+		if l.Column == "" && !l.IsValue {
+			return l.Table
+		}
+	}
+	// A value or column link still reveals the table.
+	if links := r.G.LinkSchema(phrase); len(links) > 0 {
+		return links[0].Table
+	}
+	return LiteralResolver{}.Table(phrase)
+}
+
+// Column picks the best column link inside the table.
+func (r GroundedResolver) Column(table, phrase string) string {
+	var fallback string
+	for _, l := range r.G.LinkSchema(phrase) {
+		if l.Column == "" {
+			continue
+		}
+		if strings.EqualFold(l.Table, table) {
+			return l.Column
+		}
+		if fallback == "" {
+			fallback = l.Column
+		}
+	}
+	if fallback != "" {
+		return fallback
+	}
+	return LiteralResolver{}.Column(table, phrase)
+}
+
+// Value matches the literal against the column's stored values
+// case-insensitively and returns the canonical spelling on a hit.
+func (r GroundedResolver) Value(table, column, raw string) string {
+	t, err := r.DB.Get(table)
+	if err != nil {
+		return raw
+	}
+	vals, err := t.DistinctStrings(column)
+	if err != nil {
+		return raw
+	}
+	for _, v := range vals {
+		if strings.EqualFold(v, raw) {
+			return v
+		}
+	}
+	return raw
+}
+
+// Translate runs the configured pipeline on one question.
+func (t *Translator) Translate(question string) (*Translation, error) {
+	frame, err := ParseIntent(question)
+	if err != nil {
+		return nil, err
+	}
+	return t.translateFrame(question, frame)
+}
+
+// translateFrame runs the pipeline on an already-extracted frame
+// (used directly by follow-up resolution).
+func (t *Translator) translateFrame(question string, frame *Frame) (*Translation, error) {
+	var resolver Resolver = LiteralResolver{}
+	tr := &Translation{}
+	if t.Options.UseGrounding && t.Grounder != nil {
+		resolver = GroundedResolver{G: t.Grounder, DB: t.DB}
+		tr.Notes = append(tr.Notes, "grounding: phrases resolved against schema and vocabulary")
+	} else {
+		tr.Notes = append(tr.Notes, "grounding: OFF (literal identifiers)")
+	}
+	ideal := frame.Render(resolver)
+
+	samples := 1
+	if t.Options.UseVerification {
+		samples = t.Options.Samples
+		if samples < 1 {
+			samples = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(t.Seed ^ hashString(question)))
+
+	type executed struct {
+		sql  string
+		res  *sqldb.Result
+		fp   string
+		vote int
+	}
+	byFP := map[string]*executed{}
+	var firstCandidate string
+	for s := 0; s < samples; s++ {
+		var cand string
+		if t.Options.UseReranking {
+			cand = t.emitReranked(ideal, rng, t.Options.RerankPool)
+		} else {
+			cand = t.emitCandidate(ideal, rng)
+		}
+		tr.Candidates = append(tr.Candidates, cand)
+		if firstCandidate == "" {
+			firstCandidate = cand
+		}
+		res, err := t.Engine.Query(cand)
+		if err != nil {
+			if !t.Options.UseVerification {
+				// Without verification the system blindly reports its
+				// first candidate even when it cannot execute.
+				tr.SQL = cand
+				tr.Confidence = 0
+				tr.Notes = append(tr.Notes, "verification: OFF; candidate failed to execute: "+err.Error())
+				return tr, nil
+			}
+			continue
+		}
+		if !t.Options.UseVerification {
+			tr.SQL = cand
+			tr.Result = res
+			tr.Confidence = 0
+			tr.Notes = append(tr.Notes, "verification: OFF; first executable candidate reported")
+			return tr, nil
+		}
+		fp := res.Fingerprint()
+		if e, ok := byFP[fp]; ok {
+			e.vote++
+		} else {
+			byFP[fp] = &executed{sql: cand, res: res, fp: fp, vote: 1}
+		}
+	}
+
+	if len(byFP) == 0 {
+		// Nothing executed: abstain rather than hallucinate (P4).
+		tr.Abstained = true
+		tr.SQL = firstCandidate
+		tr.Notes = append(tr.Notes, "verification: no candidate executed; abstaining")
+		return tr, nil
+	}
+	// Majority fingerprint wins; deterministic tie-break on SQL text.
+	var winner *executed
+	fps := make([]string, 0, len(byFP))
+	for fp := range byFP {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		e := byFP[fp]
+		if winner == nil || e.vote > winner.vote || (e.vote == winner.vote && e.sql < winner.sql) {
+			winner = e
+		}
+	}
+	tr.SQL = winner.sql
+	tr.Result = winner.res
+	tr.Confidence = float64(winner.vote) / float64(samples)
+	tr.Votes = append(tr.Votes, winner.vote)
+	for _, fp := range fps {
+		if byFP[fp] != winner {
+			tr.Votes = append(tr.Votes, byFP[fp].vote)
+		}
+	}
+	tr.Notes = append(tr.Notes, fmt.Sprintf("verification: %d/%d samples agree on the result", winner.vote, samples))
+	return tr, nil
+}
+
+// emitCandidate pushes the ideal SQL through the noisy channel and,
+// when constrained decoding is on, repairs it against the schema and
+// grammar with bounded rejection sampling.
+func (t *Translator) emitCandidate(ideal string, rng *rand.Rand) string {
+	attempts := 1
+	if t.Options.UseConstrained {
+		attempts = t.Options.MaxRepairAttempts
+		if attempts < 1 {
+			attempts = 1
+		}
+	}
+	var last string
+	for a := 0; a < attempts; a++ {
+		toks := tokenizeSQL(ideal)
+		noisy := t.Channel.Corrupt(rng, toks)
+		cand := strings.Join(noisy, " ")
+		if t.Options.UseConstrained {
+			cand = t.repairIdentifiers(cand)
+		}
+		last = cand
+		if !t.Options.UseConstrained {
+			return cand
+		}
+		if _, err := sqldb.Parse(cand); err == nil {
+			return cand
+		}
+	}
+	return last
+}
+
+// tokenizeSQL splits SQL into the whitespace-delimited tokens the
+// noisy channel corrupts. Using the real lexer keeps punctuation
+// attached correctly after re-joining.
+func tokenizeSQL(sql string) []string {
+	toks, err := sqldb.Lex(sql)
+	if err != nil {
+		return strings.Fields(sql)
+	}
+	out := make([]string, 0, len(toks))
+	for _, tk := range toks {
+		if tk.Type == sqldb.TokEOF {
+			break
+		}
+		if tk.Type == sqldb.TokString {
+			out = append(out, "'"+strings.ReplaceAll(tk.Text, "'", "''")+"'")
+			continue
+		}
+		out = append(out, tk.Text)
+	}
+	return out
+}
+
+// repairIdentifiers is the constrained-decoding surrogate: every
+// identifier token outside the schema vocabulary is replaced by the
+// closest valid identifier (edit distance), mimicking a token mask
+// that only admits schema terms.
+func (t *Translator) repairIdentifiers(sql string) string {
+	toks, err := sqldb.Lex(sql)
+	if err != nil {
+		return sql
+	}
+	valid := t.schemaIdentifiers()
+	var out []string
+	for _, tk := range toks {
+		switch tk.Type {
+		case sqldb.TokEOF:
+		case sqldb.TokString:
+			out = append(out, "'"+strings.ReplaceAll(tk.Text, "'", "''")+"'")
+		case sqldb.TokIdent:
+			if _, ok := valid[strings.ToLower(tk.Text)]; ok {
+				out = append(out, tk.Text)
+			} else {
+				out = append(out, nearestIdentifier(tk.Text, valid))
+			}
+		default:
+			out = append(out, tk.Text)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+func (t *Translator) schemaIdentifiers() map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, tbl := range t.DB.Tables() {
+		out[strings.ToLower(tbl.Name)] = struct{}{}
+		for _, c := range tbl.Schema() {
+			out[strings.ToLower(c.Name)] = struct{}{}
+		}
+	}
+	return out
+}
+
+func nearestIdentifier(tok string, valid map[string]struct{}) string {
+	tokL := strings.ToLower(tok)
+	best, bestD := tok, 1<<30
+	keys := make([]string, 0, len(valid))
+	for k := range valid {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		d := levenshtein(tokL, k)
+		if d < bestD {
+			best, bestD = k, d
+		}
+	}
+	return best
+}
+
+// levenshtein computes edit distance with two rolling rows.
+func levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func minInt(xs ...int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// hashString is a small FNV-style string hash for per-question seeds.
+func hashString(s string) int64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}

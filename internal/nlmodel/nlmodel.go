@@ -1,0 +1,254 @@
+// Package nlmodel implements the deterministic simulated language
+// model that substitutes for a hosted LLM (see DESIGN.md §2). It
+// provides the failure modes and control surfaces the paper's
+// architecture is designed around, without any network dependency:
+//
+//   - an n-gram language model (bigram, add-one smoothed) for natural
+//     language generation with temperature sampling and token-level
+//     constrained decoding (the paper's "constrained decoding and
+//     parsing" soundness mechanism);
+//   - a noisy channel that corrupts structured token sequences with a
+//     configurable hallucination rate — the stand-in for an LLM
+//     emitting plausible-but-wrong identifiers;
+//   - a raw confidence generator that is deliberately miscalibrated
+//     (overconfident), reproducing the paper's observation that "when
+//     relying solely on an LLM, confidence scores may not accurately
+//     reflect the true probability of correctness";
+//   - self-consistency sampling (consistency-based black-box
+//     uncertainty quantification, ref [7] in the paper).
+//
+// All randomness flows from explicit seeds so experiments reproduce
+// bit-for-bit.
+package nlmodel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// EOS terminates generated sequences.
+const EOS = "</s>"
+
+// BOS starts generated sequences.
+const BOS = "<s>"
+
+// NGram is a bigram language model with add-one smoothing.
+type NGram struct {
+	counts map[string]map[string]int
+	totals map[string]int
+	vocab  []string
+	vset   map[string]struct{}
+}
+
+// NewNGram creates an untrained model.
+func NewNGram() *NGram {
+	return &NGram{
+		counts: make(map[string]map[string]int),
+		totals: make(map[string]int),
+		vset:   make(map[string]struct{}),
+	}
+}
+
+// Train adds token sequences to the model. Sequences are implicitly
+// wrapped in BOS/EOS.
+func (m *NGram) Train(corpus [][]string) {
+	for _, seq := range corpus {
+		prev := BOS
+		for _, tok := range seq {
+			m.observe(prev, tok)
+			prev = tok
+		}
+		m.observe(prev, EOS)
+	}
+}
+
+func (m *NGram) observe(prev, tok string) {
+	if m.counts[prev] == nil {
+		m.counts[prev] = make(map[string]int)
+	}
+	m.counts[prev][tok]++
+	m.totals[prev]++
+	for _, t := range []string{prev, tok} {
+		if t == BOS {
+			continue
+		}
+		if _, ok := m.vset[t]; !ok {
+			m.vset[t] = struct{}{}
+			m.vocab = append(m.vocab, t)
+		}
+	}
+	sort.Strings(m.vocab)
+}
+
+// Vocab returns the sorted vocabulary (including EOS, excluding BOS).
+func (m *NGram) Vocab() []string { return m.vocab }
+
+// Prob returns the add-one-smoothed probability P(tok | prev).
+func (m *NGram) Prob(prev, tok string) float64 {
+	v := len(m.vocab)
+	if v == 0 {
+		return 0
+	}
+	return (float64(m.counts[prev][tok]) + 1) / (float64(m.totals[prev]) + float64(v))
+}
+
+// Perplexity computes the per-token perplexity of a sequence under
+// the model (lower = more fluent). Infinite for an untrained model.
+func (m *NGram) Perplexity(seq []string) float64 {
+	if len(m.vocab) == 0 {
+		return math.Inf(1)
+	}
+	var logSum float64
+	n := 0
+	prev := BOS
+	for _, tok := range append(append([]string{}, seq...), EOS) {
+		logSum += math.Log(m.Prob(prev, tok))
+		n++
+		prev = tok
+	}
+	return math.Exp(-logSum / float64(n))
+}
+
+// Constraint masks candidate next tokens during constrained decoding.
+// Returning false removes the token from the distribution.
+type Constraint func(prev string, candidate string) bool
+
+// Generate samples up to maxTokens tokens autoregressively, applying
+// the optional constraint at each step and renormalizing. Generation
+// stops at EOS. Temperature < 1 sharpens, > 1 flattens. A nil rng or
+// empty model returns nil.
+func (m *NGram) Generate(rng *rand.Rand, maxTokens int, temperature float64, constraint Constraint) []string {
+	if rng == nil || len(m.vocab) == 0 || maxTokens <= 0 {
+		return nil
+	}
+	if temperature <= 0 {
+		temperature = 1e-3
+	}
+	var out []string
+	prev := BOS
+	for len(out) < maxTokens {
+		tok, ok := m.sampleNext(rng, prev, temperature, constraint)
+		if !ok || tok == EOS {
+			break
+		}
+		out = append(out, tok)
+		prev = tok
+	}
+	return out
+}
+
+func (m *NGram) sampleNext(rng *rand.Rand, prev string, temperature float64, constraint Constraint) (string, bool) {
+	type cand struct {
+		tok string
+		w   float64
+	}
+	cands := make([]cand, 0, len(m.vocab))
+	var total float64
+	for _, tok := range m.vocab {
+		if constraint != nil && tok != EOS && !constraint(prev, tok) {
+			continue
+		}
+		w := math.Pow(m.Prob(prev, tok), 1/temperature)
+		cands = append(cands, cand{tok, w})
+		total += w
+	}
+	if len(cands) == 0 || total == 0 {
+		return "", false
+	}
+	r := rng.Float64() * total
+	for _, c := range cands {
+		r -= c.w
+		if r <= 0 {
+			return c.tok, true
+		}
+	}
+	return cands[len(cands)-1].tok, true
+}
+
+// Channel is the noisy structured-output channel: it corrupts token
+// sequences the way an unconstrained LLM corrupts SQL — substituting
+// plausible identifiers, dropping tokens, or injecting fabricated
+// ones.
+type Channel struct {
+	// HallucinationRate is the per-token probability of corruption.
+	HallucinationRate float64
+	// Fabrications is the pool of plausible-but-wrong tokens the
+	// channel may substitute (e.g. column names from other schemas).
+	Fabrications []string
+}
+
+// Corrupt returns a (possibly) corrupted copy of the sequence using
+// the provided seeded RNG. Corruption modes per corrupted token:
+// substitution from Fabrications (60%), token drop (20%), duplication
+// (20%). The input is never mutated.
+func (c Channel) Corrupt(rng *rand.Rand, seq []string) []string {
+	out := make([]string, 0, len(seq))
+	for _, tok := range seq {
+		if rng.Float64() >= c.HallucinationRate {
+			out = append(out, tok)
+			continue
+		}
+		switch mode := rng.Float64(); {
+		case mode < 0.6 && len(c.Fabrications) > 0:
+			out = append(out, c.Fabrications[rng.Intn(len(c.Fabrications))])
+		case mode < 0.8:
+			// drop
+		default:
+			out = append(out, tok, tok)
+		}
+	}
+	return out
+}
+
+// RawConfidence models the miscalibrated self-reported confidence of
+// a generation-only system: a high base value with small noise,
+// independent of actual correctness.
+type RawConfidence struct {
+	Base  float64 // e.g. 0.9
+	Noise float64 // e.g. 0.05
+}
+
+// Score draws one confidence value in [0,1].
+func (r RawConfidence) Score(rng *rand.Rand) float64 {
+	v := r.Base + r.Noise*rng.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SelfConsistency runs sample() m times and returns the modal output
+// with its agreement fraction — the consistency-based black-box UQ
+// the paper cites: answers the model produces stably are likelier
+// correct than one-off generations.
+func SelfConsistency(m int, sample func(i int) string) (answer string, agreement float64) {
+	if m <= 0 {
+		return "", 0
+	}
+	counts := make(map[string]int, m)
+	for i := 0; i < m; i++ {
+		counts[sample(i)]++
+	}
+	best, bestN := "", 0
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic tie-break
+	for _, k := range keys {
+		if counts[k] > bestN {
+			best, bestN = k, counts[k]
+		}
+	}
+	return best, float64(bestN) / float64(m)
+}
+
+// Detokenize joins tokens with spaces, collapsing runs of whitespace.
+func Detokenize(tokens []string) string {
+	return strings.Join(tokens, " ")
+}

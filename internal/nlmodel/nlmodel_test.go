@@ -1,0 +1,245 @@
+package nlmodel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func trainedModel() *NGram {
+	m := NewNGram()
+	m.Train([][]string{
+		{"the", "labour", "market", "is", "seasonal"},
+		{"the", "labour", "market", "barometer", "is", "monthly"},
+		{"employment", "is", "seasonal"},
+	})
+	return m
+}
+
+func TestProbSmoothing(t *testing.T) {
+	m := trainedModel()
+	// "labour" follows "the" twice out of 2 totals; smoothed < 1.
+	p := m.Prob("the", "labour")
+	if p <= 0.2 || p >= 1 {
+		t.Errorf("P(labour|the) = %v", p)
+	}
+	// Unseen continuation still gets positive mass.
+	if m.Prob("the", "seasonal") <= 0 {
+		t.Error("unseen continuation must have positive probability")
+	}
+	// Probabilities over the vocabulary sum to 1.
+	var sum float64
+	for _, tok := range m.Vocab() {
+		sum += m.Prob("the", tok)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probability mass = %v", sum)
+	}
+}
+
+func TestPerplexityOrdersFluency(t *testing.T) {
+	m := trainedModel()
+	fluent := m.Perplexity([]string{"the", "labour", "market", "is", "seasonal"})
+	weird := m.Perplexity([]string{"seasonal", "the", "monthly", "employment"})
+	if fluent >= weird {
+		t.Errorf("fluent ppl %v >= weird ppl %v", fluent, weird)
+	}
+	empty := NewNGram()
+	if !math.IsInf(empty.Perplexity([]string{"x"}), 1) {
+		t.Error("untrained perplexity must be +Inf")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := trainedModel()
+	a := m.Generate(rand.New(rand.NewSource(5)), 10, 1.0, nil)
+	b := m.Generate(rand.New(rand.NewSource(5)), 10, 1.0, nil)
+	if Detokenize(a) != Detokenize(b) {
+		t.Errorf("same seed produced %v vs %v", a, b)
+	}
+	c := m.Generate(rand.New(rand.NewSource(6)), 10, 1.0, nil)
+	_ = c // different seed may or may not differ; just ensure no panic
+}
+
+func TestGenerateRespectsMaxTokens(t *testing.T) {
+	m := trainedModel()
+	out := m.Generate(rand.New(rand.NewSource(1)), 3, 1.0, nil)
+	if len(out) > 3 {
+		t.Errorf("generated %d tokens", len(out))
+	}
+}
+
+func TestGenerateEdgeCases(t *testing.T) {
+	m := trainedModel()
+	if out := m.Generate(nil, 5, 1, nil); out != nil {
+		t.Error("nil rng must return nil")
+	}
+	if out := m.Generate(rand.New(rand.NewSource(1)), 0, 1, nil); out != nil {
+		t.Error("maxTokens 0 must return nil")
+	}
+	if out := NewNGram().Generate(rand.New(rand.NewSource(1)), 5, 1, nil); out != nil {
+		t.Error("untrained model must return nil")
+	}
+}
+
+func TestConstrainedDecoding(t *testing.T) {
+	m := trainedModel()
+	// Forbid the token "seasonal" entirely.
+	constraint := func(prev, cand string) bool { return cand != "seasonal" }
+	for seed := int64(0); seed < 20; seed++ {
+		out := m.Generate(rand.New(rand.NewSource(seed)), 20, 1.5, constraint)
+		for _, tok := range out {
+			if tok == "seasonal" {
+				t.Fatalf("constraint violated in %v", out)
+			}
+		}
+	}
+}
+
+func TestConstraintBlockingEverything(t *testing.T) {
+	m := trainedModel()
+	out := m.Generate(rand.New(rand.NewSource(1)), 5, 1, func(_, _ string) bool { return false })
+	if len(out) != 0 {
+		t.Errorf("fully blocked generation = %v", out)
+	}
+}
+
+func TestChannelZeroRateIsIdentity(t *testing.T) {
+	ch := Channel{HallucinationRate: 0, Fabrications: []string{"bogus"}}
+	in := []string{"SELECT", "a", "FROM", "t"}
+	out := ch.Corrupt(rand.New(rand.NewSource(1)), in)
+	if Detokenize(out) != Detokenize(in) {
+		t.Errorf("zero-rate corruption changed %v -> %v", in, out)
+	}
+}
+
+func TestChannelCorruptsAtHighRate(t *testing.T) {
+	ch := Channel{HallucinationRate: 1, Fabrications: []string{"bogus"}}
+	in := []string{"SELECT", "a", "FROM", "t"}
+	rng := rand.New(rand.NewSource(2))
+	out := ch.Corrupt(rng, in)
+	if Detokenize(out) == Detokenize(in) {
+		t.Error("rate-1 corruption left sequence unchanged")
+	}
+	// Input must not be mutated.
+	if in[0] != "SELECT" {
+		t.Error("input mutated")
+	}
+}
+
+func TestChannelRateScaling(t *testing.T) {
+	in := make([]string, 200)
+	for i := range in {
+		in[i] = "tok"
+	}
+	count := func(rate float64) int {
+		ch := Channel{HallucinationRate: rate, Fabrications: []string{"bogus"}}
+		out := ch.Corrupt(rand.New(rand.NewSource(3)), in)
+		changed := 0
+		for _, tok := range out {
+			if tok == "bogus" {
+				changed++
+			}
+		}
+		return changed
+	}
+	if !(count(0.4) > count(0.1)) {
+		t.Error("corruption count not increasing in rate")
+	}
+}
+
+func TestRawConfidenceBounds(t *testing.T) {
+	rc := RawConfidence{Base: 0.9, Noise: 0.5}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		v := rc.Score(rng)
+		if v < 0 || v > 1 {
+			t.Fatalf("confidence %v out of range", v)
+		}
+	}
+}
+
+func TestRawConfidenceOverconfident(t *testing.T) {
+	rc := RawConfidence{Base: 0.9, Noise: 0.02}
+	rng := rand.New(rand.NewSource(5))
+	var sum float64
+	for i := 0; i < 500; i++ {
+		sum += rc.Score(rng)
+	}
+	if mean := sum / 500; mean < 0.85 {
+		t.Errorf("mean confidence %v, want high regardless of accuracy", mean)
+	}
+}
+
+func TestSelfConsistency(t *testing.T) {
+	answers := []string{"a", "b", "a", "a", "c"}
+	got, agree := SelfConsistency(len(answers), func(i int) string { return answers[i] })
+	if got != "a" || agree != 0.6 {
+		t.Errorf("consistency = %q %v", got, agree)
+	}
+	if _, agree := SelfConsistency(0, nil); agree != 0 {
+		t.Error("m=0 must return 0 agreement")
+	}
+}
+
+func TestSelfConsistencyTieBreakDeterministic(t *testing.T) {
+	got1, _ := SelfConsistency(2, func(i int) string { return []string{"b", "a"}[i] })
+	got2, _ := SelfConsistency(2, func(i int) string { return []string{"a", "b"}[i] })
+	if got1 != got2 {
+		t.Errorf("tie-break not deterministic: %q vs %q", got1, got2)
+	}
+}
+
+// Property: generation under a whitelist constraint only emits
+// whitelisted tokens.
+func TestWhitelistProperty(t *testing.T) {
+	m := trainedModel()
+	allowed := map[string]bool{"the": true, "labour": true, "market": true}
+	f := func(seed int64) bool {
+		out := m.Generate(rand.New(rand.NewSource(seed)), 10, 1.0, func(_, c string) bool { return allowed[c] })
+		for _, tok := range out {
+			if !allowed[tok] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Corrupt never panics and output tokens come from input ∪
+// fabrications.
+func TestCorruptClosedWorldProperty(t *testing.T) {
+	f := func(seed int64, rate float64) bool {
+		rate = math.Abs(math.Mod(rate, 1))
+		ch := Channel{HallucinationRate: rate, Fabrications: []string{"f1", "f2"}}
+		in := []string{"a", "b", "c", "d"}
+		out := ch.Corrupt(rand.New(rand.NewSource(seed)), in)
+		ok := map[string]bool{"a": true, "b": true, "c": true, "d": true, "f1": true, "f2": true}
+		for _, tok := range out {
+			if !ok[tok] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetokenize(t *testing.T) {
+	if got := Detokenize([]string{"a", "b"}); got != "a b" {
+		t.Errorf("detokenize = %q", got)
+	}
+	if got := Detokenize(nil); got != "" {
+		t.Errorf("empty detokenize = %q", got)
+	}
+	if !strings.Contains(Detokenize([]string{"SELECT", "*"}), "SELECT") {
+		t.Error("missing token")
+	}
+}

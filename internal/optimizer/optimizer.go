@@ -1,0 +1,184 @@
+// Package optimizer implements the paper's "holistic optimizer" for
+// interactivity (P1): a result cache with LRU eviction, request
+// batching, and sharing of intermediate computations across the
+// pipeline, each instrumented so E2/E4 can quantify the savings.
+package optimizer
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a thread-safe LRU result cache keyed by strings (typically
+// canonical query texts). The zero value is unusable; construct with
+// NewCache.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// NewCache creates a cache holding at most capacity entries
+// (capacity < 1 is raised to 1).
+func NewCache[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and whether it was present, promoting
+// the entry on hit.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores a value, evicting the least-recently-used entry when
+// full.
+func (c *Cache[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = entry[V]{key, val}
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(entry[V]).key)
+		}
+	}
+	c.items[key] = c.ll.PushFront(entry[V]{key, val})
+}
+
+// GetOrCompute returns the cached value or computes, stores, and
+// returns it. Concurrent callers may compute the same key redundantly
+// (last write wins) — acceptable for idempotent query results.
+func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (V, error) {
+	if v, ok := c.Get(key); ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	c.Put(key, v)
+	return v, nil
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *Cache[V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// HitRate returns hits/(hits+misses), 0 before any lookup.
+func (c *Cache[V]) HitRate() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Batcher groups items until Size is reached (or Flush is called) and
+// hands each full batch to the sink — the "batched computations"
+// optimization. Not safe for concurrent use; wrap externally if
+// needed.
+type Batcher[T any] struct {
+	Size    int
+	Sink    func(batch []T)
+	pending []T
+	flushed int
+}
+
+// Add appends one item, flushing automatically at Size.
+func (b *Batcher[T]) Add(item T) {
+	b.pending = append(b.pending, item)
+	if b.Size > 0 && len(b.pending) >= b.Size {
+		b.Flush()
+	}
+}
+
+// Flush delivers any pending items as one batch.
+func (b *Batcher[T]) Flush() {
+	if len(b.pending) == 0 {
+		return
+	}
+	batch := b.pending
+	b.pending = nil
+	b.flushed++
+	if b.Sink != nil {
+		b.Sink(batch)
+	}
+}
+
+// Batches returns how many batches have been delivered.
+func (b *Batcher[T]) Batches() int { return b.flushed }
+
+// Shared memoizes an expensive computation so parallel pipeline
+// stages share one evaluation per key ("sharing of computation and
+// intermediate data"). Unlike Cache it never evicts and guarantees a
+// single in-flight computation per key.
+type Shared[V any] struct {
+	mu      sync.Mutex
+	results map[string]*sharedCall[V]
+}
+
+type sharedCall[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// NewShared creates an empty computation-sharing table.
+func NewShared[V any]() *Shared[V] {
+	return &Shared[V]{results: make(map[string]*sharedCall[V])}
+}
+
+// Do returns the memoized result for key, computing it exactly once
+// even under concurrency (singleflight semantics, but results are
+// retained).
+func (s *Shared[V]) Do(key string, compute func() (V, error)) (V, error) {
+	s.mu.Lock()
+	if call, ok := s.results[key]; ok {
+		s.mu.Unlock()
+		call.wg.Wait()
+		return call.val, call.err
+	}
+	call := &sharedCall[V]{}
+	call.wg.Add(1)
+	s.results[key] = call
+	s.mu.Unlock()
+	call.val, call.err = compute()
+	call.wg.Done()
+	return call.val, call.err
+}

@@ -1,0 +1,184 @@
+package optimizer
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache[int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("get a = %v %v", v, ok)
+	}
+	// Insert c: b is LRU (a was just touched) and must be evicted.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache[int](2)
+	c.Put("a", 1)
+	c.Put("a", 9)
+	if v, _ := c.Get("a"); v != 9 {
+		t.Errorf("updated value = %v", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestCacheStatsAndHitRate(t *testing.T) {
+	c := NewCache[int](2)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("missing")
+	h, m := c.Stats()
+	if h != 1 || m != 1 {
+		t.Errorf("stats = %d %d", h, m)
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+	empty := NewCache[int](1)
+	if empty.HitRate() != 0 {
+		t.Error("empty hit rate != 0")
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache[int](0)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := NewCache[int](4)
+	calls := 0
+	fn := func() (int, error) { calls++; return 42, nil }
+	v, err := c.GetOrCompute("k", fn)
+	if err != nil || v != 42 {
+		t.Fatalf("first = %v %v", v, err)
+	}
+	v, err = c.GetOrCompute("k", fn)
+	if err != nil || v != 42 || calls != 1 {
+		t.Errorf("second = %v %v calls=%d", v, err, calls)
+	}
+	wantErr := errors.New("boom")
+	_, err = c.GetOrCompute("bad", func() (int, error) { return 0, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v", err)
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Error("error result cached")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache[int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := string(rune('a' + (g+i)%26))
+				c.Put(key, i)
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}
+
+func TestBatcher(t *testing.T) {
+	var batches [][]int
+	b := &Batcher[int]{Size: 3, Sink: func(batch []int) {
+		cp := append([]int{}, batch...)
+		batches = append(batches, cp)
+	}}
+	for i := 1; i <= 7; i++ {
+		b.Add(i)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("batches = %v", batches)
+	}
+	b.Flush()
+	if len(batches) != 3 || len(batches[2]) != 1 {
+		t.Errorf("after flush = %v", batches)
+	}
+	if b.Batches() != 3 {
+		t.Errorf("count = %d", b.Batches())
+	}
+	b.Flush() // empty flush is a no-op
+	if b.Batches() != 3 {
+		t.Error("empty flush counted")
+	}
+}
+
+func TestSharedComputesOnce(t *testing.T) {
+	s := NewShared[int]()
+	var calls atomic.Int32
+	compute := func() (int, error) {
+		calls.Add(1)
+		return 7, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := s.Do("key", compute)
+			if err != nil || v != 7 {
+				t.Errorf("do = %v %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times", calls.Load())
+	}
+}
+
+func TestSharedDistinctKeys(t *testing.T) {
+	s := NewShared[string]()
+	a, _ := s.Do("a", func() (string, error) { return "A", nil })
+	b, _ := s.Do("b", func() (string, error) { return "B", nil })
+	if a != "A" || b != "B" {
+		t.Errorf("values = %q %q", a, b)
+	}
+}
+
+func TestSharedPropagatesError(t *testing.T) {
+	s := NewShared[int]()
+	boom := errors.New("boom")
+	_, err := s.Do("k", func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	// Error results are retained too (deterministic replay).
+	_, err = s.Do("k", func() (int, error) { return 1, nil })
+	if !errors.Is(err, boom) {
+		t.Errorf("retained err = %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package server exposes the reliable CDA system over HTTP/JSON: a
+// session-oriented conversational API in which every response carries
+// the paper's answer annotations (confidence, sources, code,
+// provenance summary, suggestions) so downstream UIs can render the
+// reliability signals, not just the text.
+//
+// Endpoints:
+//
+//	GET  /health               liveness probe
+//	GET  /datasets             catalog listing with freshness
+//	POST /sessions             create a conversation; returns {"id": ...}
+//	POST /sessions/{id}/ask    {"question": "..."} → annotated answer
+//	GET  /sessions/{id}        session transcript
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"github.com/reliable-cda/cda/internal/catalog"
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/dialogue"
+)
+
+// Server wraps a core.System with HTTP session management. Safe for
+// concurrent use; each session is individually locked because the
+// dialogue state is mutable.
+type Server struct {
+	sys *core.System
+	cat *catalog.Catalog
+	now int
+
+	mu       sync.Mutex
+	sessions map[string]*sessionEntry
+	nextID   int
+}
+
+type sessionEntry struct {
+	mu   sync.Mutex
+	sess *dialogue.Session
+}
+
+// New creates a server over an assembled system. cat may be nil when
+// the deployment has no catalog.
+func New(sys *core.System, cat *catalog.Catalog, now int) *Server {
+	return &Server{sys: sys, cat: cat, now: now, sessions: map[string]*sessionEntry{}}
+}
+
+// Handler returns the HTTP handler with all routes registered.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", s.handleHealth)
+	mux.HandleFunc("GET /datasets", s.handleDatasets)
+	mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	mux.HandleFunc("POST /sessions/{id}/ask", s.handleAsk)
+	mux.HandleFunc("GET /sessions/{id}", s.handleTranscript)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// DatasetInfo is the catalog listing payload.
+type DatasetInfo struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Source      string  `json:"source,omitempty"`
+	Freshness   float64 `json:"freshness"`
+	Rotted      bool    `json:"rotted"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	if s.cat == nil {
+		writeJSON(w, http.StatusOK, []DatasetInfo{})
+		return
+	}
+	var out []DatasetInfo
+	for _, d := range s.cat.List() {
+		out = append(out, DatasetInfo{
+			ID: d.ID, Name: d.Name, Description: d.Description, Source: d.Source,
+			Freshness: catalog.Freshness(d, s.now),
+			Rotted:    catalog.Rotted(d, s.now),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%04d", s.nextID)
+	s.sessions[id] = &sessionEntry{sess: s.sys.NewSession()}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *Server) session(id string) (*sessionEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.sessions[id]
+	return e, ok
+}
+
+// AskRequest is the question payload.
+type AskRequest struct {
+	Question string `json:"question"`
+}
+
+// AskResponse carries the annotated answer (layer ⓔ over the wire).
+type AskResponse struct {
+	Text          string   `json:"text"`
+	Code          string   `json:"code,omitempty"`
+	Confidence    float64  `json:"confidence"`
+	Abstained     bool     `json:"abstained"`
+	Clarification string   `json:"clarification,omitempty"`
+	Suggestions   string   `json:"suggestions,omitempty"`
+	Sources       []string `json:"sources,omitempty"`
+	Provenance    string   `json:"provenance,omitempty"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	var req AskRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Question) == "" {
+		writeError(w, http.StatusBadRequest, "question must not be empty")
+		return
+	}
+	entry.mu.Lock()
+	ans, err := s.sys.Respond(entry.sess, req.Question)
+	entry.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := AskResponse{
+		Text:          ans.Text,
+		Code:          ans.Code,
+		Confidence:    ans.Confidence,
+		Abstained:     ans.Abstained,
+		Clarification: ans.Clarification,
+		Suggestions:   ans.Suggestions,
+		Sources:       ans.Explanation.Sources,
+	}
+	if ans.Provenance != nil && ans.AnswerNode != "" {
+		resp.Provenance = ans.Provenance.Summary(ans.AnswerNode)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// TranscriptTurn is one turn of the session transcript payload.
+type TranscriptTurn struct {
+	Role       string  `json:"role"`
+	Text       string  `json:"text"`
+	Intent     string  `json:"intent,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	out := make([]TranscriptTurn, 0, len(entry.sess.Turns))
+	for _, t := range entry.sess.Turns {
+		tt := TranscriptTurn{Role: t.Role.String(), Text: t.Text, Confidence: t.Confidence}
+		if t.Role == dialogue.RoleUser {
+			tt.Intent = t.Intent.String()
+		}
+		out = append(out, tt)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

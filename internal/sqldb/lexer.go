@@ -1,0 +1,187 @@
+// Package sqldb implements a SQL subset over internal/storage tables:
+// a lexer, recursive-descent parser, logical planner, and executor.
+//
+// Two properties distinguish it from an off-the-shelf embedded SQL
+// engine and are required by the paper:
+//
+//   - Why-provenance: every output row carries the set of base-table
+//     row coordinates that contributed to it (P3 Explainability, P4
+//     Soundness by provenance). Aggregated rows carry the whole
+//     contributing group.
+//   - Deterministic, fully inspectable evaluation: the NL2SQL verifier
+//     (internal/nl2sql) executes candidate queries and compares result
+//     multisets, which requires stable semantics.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	SELECT [DISTINCT] expr [AS alias] {, expr [AS alias]}
+//	FROM table [alias] {JOIN table [alias] ON expr}
+//	[WHERE expr] [GROUP BY expr {, expr}] [HAVING expr]
+//	[ORDER BY expr [ASC|DESC] {, ...}] [LIMIT n]
+//
+// with aggregates COUNT(*)/COUNT/SUM/AVG/MIN/MAX, arithmetic,
+// comparisons, AND/OR/NOT, LIKE, IN (...), BETWEEN, IS [NOT] NULL.
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenType classifies lexer output.
+type TokenType int
+
+// Token types.
+const (
+	TokEOF TokenType = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokSymbol
+)
+
+// Token is one lexical unit with its source position (byte offset).
+type Token struct {
+	Type TokenType
+	Text string // keywords are upper-cased; idents keep original case
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"LIMIT": true, "OFFSET": true, "ASC": true, "DESC": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "LIKE": true,
+	"BETWEEN": true, "IS": true, "NULL": true, "JOIN": true, "ON": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"TRUE": true, "FALSE": true, "INNER": true, "LEFT": true,
+}
+
+// SQLError is a lexing/parsing/execution error with a position and the
+// original query, so explanations can point at the offending fragment.
+type SQLError struct {
+	Pos   int
+	Query string
+	Msg   string
+}
+
+func (e *SQLError) Error() string {
+	if e.Pos >= 0 && e.Pos <= len(e.Query) {
+		return fmt.Sprintf("sql: %s at position %d near %q", e.Msg, e.Pos, excerpt(e.Query, e.Pos))
+	}
+	return "sql: " + e.Msg
+}
+
+func excerpt(q string, pos int) string {
+	end := pos + 12
+	if end > len(q) {
+		end = len(q)
+	}
+	return q[pos:end]
+}
+
+func errAt(query string, pos int, format string, args ...any) error {
+	return &SQLError{Pos: pos, Query: query, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes a query. String literals use single quotes with ”
+// escaping. Numbers may contain one decimal point and an exponent.
+func Lex(query string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(query)
+	for i < n {
+		c := query[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if query[i] == '\'' {
+					if i+1 < n && query[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(query[i])
+				i++
+			}
+			if !closed {
+				return nil, errAt(query, start, "unterminated string literal")
+			}
+			toks = append(toks, Token{Type: TokString, Text: sb.String(), Pos: start})
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(query[i+1])):
+			start := i
+			seenDot, seenExp := false, false
+			for i < n {
+				d := query[i]
+				if isDigit(d) {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < n && (query[i] == '+' || query[i] == '-') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Type: TokNumber, Text: query[start:i], Pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(query[i]) {
+				i++
+			}
+			word := query[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Type: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Type: TokIdent, Text: word, Pos: start})
+			}
+		default:
+			start := i
+			// Multi-char operators first.
+			if i+1 < n {
+				two := query[i : i+2]
+				switch two {
+				case "<=", ">=", "!=", "<>":
+					toks = append(toks, Token{Type: TokSymbol, Text: two, Pos: start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '.', '*', '=', '<', '>', '+', '-', '/', '%', ';':
+				toks = append(toks, Token{Type: TokSymbol, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, errAt(query, i, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, Token{Type: TokEOF, Text: "", Pos: n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c) }

@@ -1,0 +1,568 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/storage"
+)
+
+// Parse compiles a SELECT statement from SQL text.
+func Parse(query string) (*SelectStmt, error) {
+	toks, err := Lex(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{query: query, toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().Type == TokSymbol && p.peek().Text == ";" {
+		p.next()
+	}
+	if p.peek().Type != TokEOF {
+		return nil, errAt(query, p.peek().Pos, "unexpected trailing input")
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	query string
+	toks  []Token
+	pos   int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().Type == TokKeyword && p.peek().Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errAt(p.query, p.peek().Pos, "expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.peek().Type == TokSymbol && p.peek().Text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return errAt(p.query, p.peek().Pos, "expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+
+	// Projections.
+	if p.peek().Type == TokSymbol && p.peek().Text == "*" {
+		p.next()
+		stmt.SelStar = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				if p.peek().Type != TokIdent {
+					return nil, errAt(p.query, p.peek().Pos, "expected alias after AS")
+				}
+				item.Alias = p.next().Text
+			} else if p.peek().Type == TokIdent {
+				// Bare alias: SELECT salary s FROM ...
+				item.Alias = p.next().Text
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if p.peek().Type != TokIdent {
+		return nil, errAt(p.query, p.peek().Pos, "expected table name")
+	}
+	stmt.From = p.next().Text
+	if p.peek().Type == TokIdent {
+		stmt.FromAl = p.next().Text
+	} else {
+		stmt.FromAl = stmt.From
+	}
+
+	// Joins.
+	for {
+		left := false
+		if p.acceptKeyword("INNER") {
+			// INNER JOIN
+		} else if p.acceptKeyword("LEFT") {
+			left = true
+		}
+		if !p.acceptKeyword("JOIN") {
+			if left {
+				return nil, errAt(p.query, p.peek().Pos, "expected JOIN after LEFT")
+			}
+			break
+		}
+		if p.peek().Type != TokIdent {
+			return nil, errAt(p.query, p.peek().Pos, "expected table name after JOIN")
+		}
+		jc := JoinClause{Table: p.next().Text}
+		if p.peek().Type == TokIdent {
+			jc.Alias = p.next().Text
+		} else {
+			jc.Alias = jc.Table
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		jc.On = on
+		if left {
+			stmt.Warnings = append(stmt.Warnings, "LEFT JOIN executed with inner-join semantics")
+		}
+		stmt.Joins = append(stmt.Joins, jc)
+	}
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				oi.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, oi)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		if p.peek().Type != TokNumber {
+			return nil, errAt(p.query, p.peek().Pos, "expected number after LIMIT")
+		}
+		t := p.next()
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, errAt(p.query, t.Pos, "invalid LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+	if p.acceptKeyword("OFFSET") {
+		if p.peek().Type != TokNumber {
+			return nil, errAt(p.query, p.peek().Pos, "expected number after OFFSET")
+		}
+		t := p.next()
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, errAt(p.query, t.Pos, "invalid OFFSET %q", t.Text)
+		}
+		stmt.Offset = n
+	}
+	return stmt, nil
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	expr     := orExpr
+//	orExpr   := andExpr { OR andExpr }
+//	andExpr  := notExpr { AND notExpr }
+//	notExpr  := NOT notExpr | predicate
+//	predicate:= additive [ compOp additive | IN (...) | LIKE additive
+//	             | BETWEEN additive AND additive | IS [NOT] NULL ]
+//	additive := term { (+|-) term }
+//	term     := factor { (*|/|%) factor }
+//	factor   := - factor | primary
+//	primary  := literal | funcCall | columnRef | ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Expr: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Comparison operators.
+	if p.peek().Type == TokSymbol {
+		switch p.peek().Text {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			op := p.next().Text
+			if op == "<>" {
+				op = "!="
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	not := false
+	if p.peek().Type == TokKeyword && p.peek().Text == "NOT" {
+		// Lookahead for NOT IN / NOT LIKE / NOT BETWEEN.
+		if p.pos+1 < len(p.toks) {
+			nt := p.toks[p.pos+1]
+			if nt.Type == TokKeyword && (nt.Text == "IN" || nt.Text == "LIKE" || nt.Text == "BETWEEN") {
+				p.next()
+				not = true
+			}
+		}
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Expr: left, List: list, Not: not}, nil
+	case p.acceptKeyword("LIKE"):
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		like := Expr(&BinaryExpr{Op: "LIKE", Left: left, Right: right})
+		if not {
+			like = &UnaryExpr{Op: "NOT", Expr: like}
+		}
+		return like, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Expr: left, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKeyword("IS"):
+		isNot := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Expr: left, Not: isNot}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Type == TokSymbol && (p.peek().Text == "+" || p.peek().Text == "-") {
+		op := p.next().Text
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Type == TokSymbol && (p.peek().Text == "*" || p.peek().Text == "/" || p.peek().Text == "%") {
+		op := p.next().Text
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	if p.peek().Type == TokSymbol && p.peek().Text == "-" {
+		p.next()
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals immediately.
+		if lit, ok := e.(*Literal); ok {
+			switch lit.Val.Kind {
+			case storage.KindInt:
+				return &Literal{Val: storage.Int(-lit.Val.I)}, nil
+			case storage.KindFloat:
+				return &Literal{Val: storage.Float(-lit.Val.F)}, nil
+			}
+		}
+		return &UnaryExpr{Op: "-", Expr: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggregateNames = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+// scalarNames are the supported scalar functions; they lex as plain
+// identifiers and are recognized by the following '('.
+var scalarNames = map[string]bool{
+	"LOWER": true, "UPPER": true, "LENGTH": true,
+	"ABS": true, "ROUND": true, "COALESCE": true,
+}
+
+func validateScalarArity(se *ScalarExpr) error {
+	n := len(se.Args)
+	switch se.Name {
+	case "LOWER", "UPPER", "LENGTH", "ABS":
+		if n != 1 {
+			return fmt.Errorf("%s takes exactly 1 argument, got %d", se.Name, n)
+		}
+	case "ROUND":
+		if n != 1 && n != 2 {
+			return fmt.Errorf("ROUND takes 1 or 2 arguments, got %d", n)
+		}
+	case "COALESCE":
+		if n < 1 {
+			return fmt.Errorf("COALESCE needs at least 1 argument")
+		}
+	}
+	return nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Type {
+	case TokNumber:
+		p.next()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, errAt(p.query, t.Pos, "invalid number %q", t.Text)
+			}
+			return &Literal{Val: storage.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errAt(p.query, t.Pos, "invalid number %q", t.Text)
+		}
+		return &Literal{Val: storage.Int(i)}, nil
+	case TokString:
+		p.next()
+		return &Literal{Val: storage.Str(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &Literal{Val: storage.Null()}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Val: storage.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: storage.Bool(false)}, nil
+		}
+		if aggregateNames[t.Text] {
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			fe := &FuncExpr{Name: t.Text}
+			fe.Distinct = p.acceptKeyword("DISTINCT")
+			if p.peek().Type == TokSymbol && p.peek().Text == "*" {
+				if t.Text != "COUNT" {
+					return nil, errAt(p.query, p.peek().Pos, "%s(*) is not valid", t.Text)
+				}
+				p.next()
+				fe.Arg = &Star{}
+			} else {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fe.Arg = arg
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return fe, nil
+		}
+		return nil, errAt(p.query, t.Pos, "unexpected keyword %s", t.Text)
+	case TokIdent:
+		p.next()
+		name := t.Text
+		if scalarNames[strings.ToUpper(name)] && p.peek().Type == TokSymbol && p.peek().Text == "(" {
+			p.next() // consume "("
+			se := &ScalarExpr{Name: strings.ToUpper(name)}
+			if !p.acceptSymbol(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					se.Args = append(se.Args, arg)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+			}
+			if err := validateScalarArity(se); err != nil {
+				return nil, errAt(p.query, t.Pos, "%v", err)
+			}
+			return se, nil
+		}
+		if p.acceptSymbol(".") {
+			if p.peek().Type == TokSymbol && p.peek().Text == "*" {
+				// table.* is only meaningful at the projection level; we
+				// reject it in expressions for simplicity.
+				return nil, errAt(p.query, p.peek().Pos, "qualified * is not supported in expressions")
+			}
+			if p.peek().Type != TokIdent {
+				return nil, errAt(p.query, p.peek().Pos, "expected column after %q.", name)
+			}
+			col := p.next().Text
+			return &ColumnRef{Table: name, Column: col}, nil
+		}
+		return &ColumnRef{Column: name}, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errAt(p.query, t.Pos, "unexpected token %q", t.Text)
+}

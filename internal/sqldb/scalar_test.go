@@ -1,0 +1,169 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/storage"
+)
+
+func TestScalarLowerUpper(t *testing.T) {
+	e := NewEngine(testDB(t))
+	res := mustQuery(t, e, "SELECT LOWER(name), UPPER(name) FROM employees WHERE id = 1")
+	if res.Rows[0][0].S != "ada" || res.Rows[0][1].S != "ADA" {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestScalarInWhere(t *testing.T) {
+	e := NewEngine(testDB(t))
+	res := mustQuery(t, e, "SELECT name FROM employees WHERE LOWER(name) = 'bob'")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Bob" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestScalarLength(t *testing.T) {
+	e := NewEngine(testDB(t))
+	res := mustQuery(t, e, "SELECT name FROM employees WHERE LENGTH(name) = 3 ORDER BY name")
+	if len(res.Rows) != 4 { // Ada, Bob, Dan, Eve
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestScalarAbsRound(t *testing.T) {
+	e := NewEngine(testDB(t))
+	res := mustQuery(t, e, "SELECT ABS(0 - salary), ROUND(salary / 7, 1) FROM employees WHERE id = 1")
+	if res.Rows[0][0].F != 120 {
+		t.Errorf("abs = %v", res.Rows[0][0])
+	}
+	if res.Rows[0][1].F != 17.1 {
+		t.Errorf("round = %v", res.Rows[0][1])
+	}
+	res = mustQuery(t, e, "SELECT ABS(0 - id) FROM employees WHERE id = 2")
+	if res.Rows[0][0].Kind != storage.KindInt || res.Rows[0][0].I != 2 {
+		t.Errorf("int abs = %v", res.Rows[0][0])
+	}
+}
+
+func TestScalarCoalesce(t *testing.T) {
+	e := NewEngine(testDB(t))
+	res := mustQuery(t, e, "SELECT COALESCE(salary, 0) FROM employees WHERE id = 5")
+	if res.Rows[0][0].Kind != storage.KindInt || res.Rows[0][0].I != 0 {
+		t.Errorf("coalesce = %v", res.Rows[0][0])
+	}
+	res = mustQuery(t, e, "SELECT COALESCE(salary, 0) FROM employees WHERE id = 1")
+	if res.Rows[0][0].F != 120 {
+		t.Errorf("coalesce non-null = %v", res.Rows[0][0])
+	}
+}
+
+func TestScalarNullPropagation(t *testing.T) {
+	e := NewEngine(testDB(t))
+	res := mustQuery(t, e, "SELECT ROUND(salary) FROM employees WHERE id = 5")
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("null propagation = %v", res.Rows[0][0])
+	}
+}
+
+func TestScalarInsideAggregate(t *testing.T) {
+	e := NewEngine(testDB(t))
+	res := mustQuery(t, e, "SELECT MAX(LENGTH(name)) FROM employees")
+	if res.Rows[0][0].I != 4 { // Cleo
+		t.Errorf("max length = %v", res.Rows[0][0])
+	}
+}
+
+func TestScalarWithGroupByKey(t *testing.T) {
+	e := NewEngine(testDB(t))
+	res := mustQuery(t, e, "SELECT dept_id, ROUND(AVG(salary)) FROM employees GROUP BY dept_id ORDER BY dept_id")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1].F != 105 {
+		t.Errorf("rounded avg = %v", res.Rows[0][1])
+	}
+}
+
+func TestScalarArityErrors(t *testing.T) {
+	e := NewEngine(testDB(t))
+	for _, q := range []string{
+		"SELECT LOWER() FROM employees",
+		"SELECT LOWER(name, name) FROM employees",
+		"SELECT ROUND(salary, 1, 2) FROM employees",
+		"SELECT COALESCE() FROM employees",
+	} {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("%q should fail", q)
+		}
+	}
+}
+
+func TestScalarTypeErrors(t *testing.T) {
+	e := NewEngine(testDB(t))
+	for _, q := range []string{
+		"SELECT LOWER(salary) FROM employees",
+		"SELECT ABS(name) FROM employees",
+		"SELECT LENGTH(id) FROM employees",
+		"SELECT ROUND(name) FROM employees",
+	} {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("%q should fail", q)
+		}
+	}
+}
+
+func TestScalarRenderRoundTrip(t *testing.T) {
+	q := "SELECT COALESCE(LOWER(name), 'x') FROM employees WHERE (LENGTH(name) > 2)"
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := stmt.Render()
+	stmt2, err := Parse(r1)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", r1, err)
+	}
+	if r2 := stmt2.Render(); r1 != r2 {
+		t.Errorf("render fixpoint failed:\n%s\n%s", r1, r2)
+	}
+}
+
+func TestNonScalarIdentWithParenFails(t *testing.T) {
+	e := NewEngine(testDB(t))
+	if _, err := e.Query("SELECT frobnicate(name) FROM employees"); err == nil {
+		t.Error("unknown function should fail")
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	e := NewEngine(testDB(t))
+	res := mustQuery(t, e, "SELECT name FROM employees ORDER BY id LIMIT 2 OFFSET 1")
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "Bob" || res.Rows[1][0].S != "Cleo" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Offset past the end yields empty.
+	res = mustQuery(t, e, "SELECT name FROM employees LIMIT 5 OFFSET 99")
+	if len(res.Rows) != 0 {
+		t.Errorf("past-end rows = %v", res.Rows)
+	}
+	// Offset without limit.
+	res = mustQuery(t, e, "SELECT name FROM employees ORDER BY id OFFSET 3")
+	if len(res.Rows) != 2 {
+		t.Errorf("offset-only rows = %v", res.Rows)
+	}
+	// Render round-trip includes OFFSET.
+	stmt, err := Parse("SELECT name FROM employees LIMIT 2 OFFSET 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stmt.Render(), "OFFSET 1") {
+		t.Errorf("render = %q", stmt.Render())
+	}
+	if _, err := Parse("SELECT name FROM employees OFFSET x"); err == nil {
+		t.Error("bad OFFSET must error")
+	}
+	if _, err := Parse("SELECT name FROM employees OFFSET -1"); err == nil {
+		t.Error("negative OFFSET must error")
+	}
+}

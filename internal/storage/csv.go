@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// ReadCSV loads a table from CSV. The first record is the header. If
+// schema is nil, column kinds are inferred from up to the first 100
+// data rows (preference INT > FLOAT > BOOL > TEXT); otherwise the
+// provided schema must match the header width and is used as-is.
+func ReadCSV(name string, r io.Reader, schema Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading csv for %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("storage: csv for %s has no header", name)
+	}
+	header := records[0]
+	data := records[1:]
+	if schema == nil {
+		schema = make(Schema, len(header))
+		for c, h := range header {
+			samples := make([]string, 0, 100)
+			for r := 0; r < len(data) && r < 100; r++ {
+				samples = append(samples, data[r][c])
+			}
+			schema[c] = ColumnDef{Name: h, Kind: InferKind(samples)}
+		}
+	} else if len(schema) != len(header) {
+		return nil, fmt.Errorf("storage: schema has %d columns, csv header has %d", len(schema), len(header))
+	}
+	t := NewTable(name, schema)
+	for rn, rec := range data {
+		if len(rec) != len(schema) {
+			return nil, fmt.Errorf("storage: row %d has %d fields, want %d", rn+1, len(rec), len(schema))
+		}
+		row := make([]Value, len(rec))
+		for c, raw := range rec {
+			v, err := ParseValue(raw, schema[c].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("storage: row %d col %s: %w", rn+1, schema[c].Name, err)
+			}
+			row[c] = v
+		}
+		if err := t.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV serializes the table as CSV with a header row. NULLs are
+// written as empty fields.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for r := 0; r < t.NumRows(); r++ {
+		for c := 0; c < t.NumCols(); c++ {
+			v := t.At(r, c)
+			if v.IsNull() {
+				rec[c] = ""
+			} else {
+				rec[c] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDatabase("hr")
+	tbl := testTable(t)
+	tbl.Description = "test employees"
+	db.Put(tbl)
+	if err := SaveDir(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "hr" {
+		t.Errorf("name = %q", got.Name)
+	}
+	lt, err := got.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Description != "test employees" {
+		t.Errorf("description = %q", lt.Description)
+	}
+	if lt.NumRows() != tbl.NumRows() {
+		t.Fatalf("rows = %d", lt.NumRows())
+	}
+	// Typed schema survives exactly (no inference drift: the float
+	// column stays FLOAT even though its values could parse as INT).
+	for i, c := range tbl.Schema() {
+		if lt.Schema()[i].Kind != c.Kind {
+			t.Errorf("column %s kind = %v, want %v", c.Name, lt.Schema()[i].Kind, c.Kind)
+		}
+	}
+	for r := 0; r < tbl.NumRows(); r++ {
+		for c := 0; c < tbl.NumCols(); c++ {
+			if !lt.At(r, c).Equal(tbl.At(r, c)) && !(lt.At(r, c).IsNull() && tbl.At(r, c).IsNull()) {
+				t.Errorf("cell (%d,%d) = %v, want %v", r, c, lt.At(r, c), tbl.At(r, c))
+			}
+		}
+	}
+}
+
+func TestSaveDirSchemaPreservesIntColumnWithRoundValues(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDatabase("x")
+	tbl := NewTable("t", Schema{{Name: "f", Kind: KindFloat}})
+	tbl.MustAppendRow(Float(100)) // would infer as INT without manifest
+	db.Put(tbl)
+	if err := SaveDir(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, _ := got.Get("t")
+	if lt.Schema()[0].Kind != KindFloat {
+		t.Errorf("kind = %v, want FLOAT", lt.Schema()[0].Kind)
+	}
+}
+
+func TestLoadDirWithoutManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "nums.csv"), []byte("a,b\n1,x\n2,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Get("nums")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 || tbl.Schema()[0].Kind != KindInt || tbl.Schema()[1].Kind != KindString {
+		t.Errorf("inferred table = %v rows, kinds %v %v", tbl.NumRows(), tbl.Schema()[0].Kind, tbl.Schema()[1].Kind)
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing dir must error")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Error("empty dir must error")
+	}
+	bad := t.TempDir()
+	os.WriteFile(filepath.Join(bad, "schema.json"), []byte("{broken"), 0o644)
+	if _, err := LoadDir(bad); err == nil {
+		t.Error("broken manifest must error")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	tbl := testTable(t)
+	stats := Profile(tbl)
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d cols", len(stats))
+	}
+	id := stats[0]
+	if id.Distinct != 3 || id.Nulls != 0 || !id.HasNumeric || id.Min != 1 || id.Max != 3 || id.Mean != 2 {
+		t.Errorf("id stats = %+v", id)
+	}
+	name := stats[1]
+	if name.HasNumeric || name.Distinct != 3 || len(name.TopValues) != 3 {
+		t.Errorf("name stats = %+v", name)
+	}
+	sal := stats[2]
+	if sal.Nulls != 1 || !sal.HasNumeric || sal.Min != 80.25 || sal.Max != 100.5 {
+		t.Errorf("salary stats = %+v", sal)
+	}
+}
+
+func TestProfileTopValuesOrdering(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "s", Kind: KindString}})
+	for i := 0; i < 3; i++ {
+		tbl.MustAppendRow(Str("common"))
+	}
+	tbl.MustAppendRow(Str("rare"))
+	st := Profile(tbl)[0]
+	if st.TopValues[0].Value != "common" || st.TopValues[0].Count != 3 {
+		t.Errorf("top values = %v", st.TopValues)
+	}
+}
+
+func TestProfileEmptyTable(t *testing.T) {
+	tbl := NewTable("e", Schema{{Name: "x", Kind: KindInt}})
+	st := Profile(tbl)[0]
+	if st.HasNumeric || st.Distinct != 0 || st.Min != 0 || st.Max != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}

@@ -1,0 +1,205 @@
+// Package textindex implements lexical document retrieval for the CDA
+// computational infrastructure: a tokenizer, an inverted index with
+// per-term postings, and BM25 ranking. The catalog layer uses it to
+// find datasets by description, and the grounding layer uses its
+// tokenizer for vocabulary matching.
+package textindex
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Tokenize lower-cases and splits text into alphanumeric word tokens.
+// Punctuation separates tokens; digits stay inside tokens ("q3" is one
+// token).
+func Tokenize(text string) []string {
+	var out []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 0 {
+			out = append(out, sb.String())
+			sb.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			sb.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Stopwords used during indexing (kept deliberately small; domain
+// terms must never be dropped).
+var Stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true,
+	"at": true, "be": true, "by": true, "for": true, "from": true,
+	"in": true, "is": true, "it": true, "of": true, "on": true,
+	"or": true, "that": true, "the": true, "to": true, "with": true,
+	"me": true, "please": true, "give": true, "i": true, "am": true,
+	"what": true, "which": true, "about": true, "can": true, "you": true,
+	"such": true, "etc": true,
+}
+
+// TokenizeContent tokenizes and removes stopwords.
+func TokenizeContent(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if !Stopwords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Document is an indexed text with external identity.
+type Document struct {
+	ID   string
+	Text string
+}
+
+// Hit is one ranked retrieval result.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// BM25 parameters; the standard defaults.
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+type posting struct {
+	doc  int
+	freq int
+}
+
+// Index is a BM25 inverted index. Add documents, then Search. Safe
+// for concurrent searches after building; Add must not race Search.
+type Index struct {
+	mu        sync.RWMutex
+	docs      []Document
+	docLen    []int
+	postings  map[string][]posting
+	totalLen  int
+	dirtyBM25 bool
+}
+
+// NewIndex creates an empty index.
+func NewIndex() *Index {
+	return &Index{postings: map[string][]posting{}}
+}
+
+// Add indexes one document. Duplicate IDs are allowed and are treated
+// as distinct documents (caller deduplicates if needed).
+func (ix *Index) Add(doc Document) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	toks := TokenizeContent(doc.Text)
+	id := len(ix.docs)
+	ix.docs = append(ix.docs, doc)
+	ix.docLen = append(ix.docLen, len(toks))
+	ix.totalLen += len(toks)
+	freqs := make(map[string]int, len(toks))
+	for _, t := range toks {
+		freqs[t]++
+	}
+	for t, f := range freqs {
+		ix.postings[t] = append(ix.postings[t], posting{doc: id, freq: f})
+	}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Doc returns the i-th document added.
+func (ix *Index) Doc(i int) Document {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docs[i]
+}
+
+// Search ranks documents against the query by BM25 and returns the
+// top k hits (fewer if fewer match). Scores are strictly positive;
+// documents sharing no query term are omitted.
+func (ix *Index) Search(query string, k int) []Hit {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.docs) == 0 || k <= 0 {
+		return nil
+	}
+	qToks := TokenizeContent(query)
+	if len(qToks) == 0 {
+		return nil
+	}
+	n := float64(len(ix.docs))
+	avgLen := float64(ix.totalLen) / n
+	if avgLen == 0 {
+		avgLen = 1
+	}
+	scores := make(map[int]float64)
+	seen := make(map[string]bool)
+	for _, term := range qToks {
+		if seen[term] {
+			continue
+		}
+		seen[term] = true
+		plist := ix.postings[term]
+		if len(plist) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (n-float64(len(plist))+0.5)/(float64(len(plist))+0.5))
+		for _, p := range plist {
+			tf := float64(p.freq)
+			dl := float64(ix.docLen[p.doc])
+			scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, s := range scores {
+		hits = append(hits, Hit{ID: ix.docs[doc].ID, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// TermFrequency returns how many indexed documents contain the term
+// (document frequency), used by grounding to weigh vocabulary matches.
+func (ix *Index) TermFrequency(term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings[strings.ToLower(term)])
+}
+
+// Vocabulary returns all indexed terms in sorted order.
+func (ix *Index) Vocabulary() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,34 @@
+package timeseries_test
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/reliable-cda/cda/internal/timeseries"
+)
+
+func ExampleDetectSeasonality() {
+	// A clean series with period 4.
+	xs := make([]float64, 48)
+	for i := range xs {
+		xs[i] = 100 + 10*math.Sin(2*math.Pi*float64(i)/4)
+	}
+	s, err := timeseries.DetectSeasonality(xs, 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("period %d, confidence %.2f\n", s.Period, s.Confidence)
+	// Output:
+	// period 4, confidence 1.00
+}
+
+func ExampleForecastSeries() {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	f, err := timeseries.ForecastSeries(xs, 0, 2, 0.9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: t+1 = %.0f, t+2 = %.0f\n", f.Method, f.Values[0], f.Values[1])
+	// Output:
+	// naive+drift: t+1 = 9, t+2 = 10
+}

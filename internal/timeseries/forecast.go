@@ -1,0 +1,165 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forecast is a point prediction with a central prediction interval —
+// analytics answers carry explicit uncertainty (P4) rather than bare
+// numbers.
+type Forecast struct {
+	// Horizon steps ahead, 1-based.
+	Values []float64
+	Lower  []float64
+	Upper  []float64
+	// Level is the nominal coverage of [Lower, Upper] (e.g. 0.9).
+	Level float64
+	// Method names the model used ("seasonal-naive+drift" or
+	// "naive+drift" when no seasonality was found).
+	Method string
+}
+
+// ForecastSeries predicts `horizon` future points with a
+// seasonal-naive-plus-drift model: the last observed seasonal cycle
+// repeats, shifted by the fitted linear trend. Prediction intervals
+// come from the in-sample one-step residual spread, widened with the
+// square root of the lead time (random-walk error growth). period 0
+// (or 1) selects the non-seasonal naive+drift model.
+func ForecastSeries(xs []float64, period, horizon int, level float64) (*Forecast, error) {
+	n := len(xs)
+	if horizon < 1 {
+		return nil, fmt.Errorf("timeseries: horizon must be >= 1")
+	}
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("timeseries: level must be in (0,1)")
+	}
+	if period > 1 && n < 2*period {
+		return nil, ErrInsufficient
+	}
+	if n < 4 {
+		return nil, ErrInsufficient
+	}
+	slope, _ := olsLine(xs)
+
+	predict := func(step int) float64 {
+		if period > 1 {
+			// Last full cycle value at the same phase, plus drift.
+			idx := n - period + ((step - 1) % period)
+			cycles := float64((step-1)/period + 1)
+			return xs[idx] + slope*float64(period)*cycles
+		}
+		return xs[n-1] + slope*float64(step)
+	}
+
+	// In-sample one-step residuals of the same rule.
+	var resid []float64
+	start := 1
+	if period > 1 {
+		start = period
+	}
+	for i := start; i < n; i++ {
+		var fit float64
+		if period > 1 {
+			fit = xs[i-period] + slope*float64(period)
+		} else {
+			fit = xs[i-1] + slope
+		}
+		resid = append(resid, xs[i]-fit)
+	}
+	sd := math.Sqrt(Variance(resid))
+	if sd == 0 {
+		sd = 1e-9
+	}
+	z := stdNormalQuantile(0.5 + level/2)
+
+	f := &Forecast{Level: level, Method: "seasonal-naive+drift"}
+	if period <= 1 {
+		f.Method = "naive+drift"
+	}
+	for h := 1; h <= horizon; h++ {
+		v := predict(h)
+		var lead float64
+		if period > 1 {
+			lead = float64((h-1)/period + 1)
+		} else {
+			lead = float64(h)
+		}
+		half := z * sd * math.Sqrt(lead)
+		f.Values = append(f.Values, v)
+		f.Lower = append(f.Lower, v-half)
+		f.Upper = append(f.Upper, v+half)
+	}
+	return f, nil
+}
+
+// stdNormalQuantile inverts the standard normal CDF with a bisection
+// on Erf — precise enough for interval construction and dependency
+// free.
+func stdNormalQuantile(p float64) float64 {
+	lo, hi := -10.0, 10.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if stdNormalCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Anomaly is one point flagged by residual analysis.
+type Anomaly struct {
+	Index int
+	Value float64
+	// Z is the residual's standard score.
+	Z float64
+}
+
+// DetectAnomalies decomposes the series at the period and flags
+// points whose residual exceeds `threshold` standard deviations —
+// "uncovering unexpected patterns" with an auditable criterion.
+// period <= 1 uses detrended-only residuals.
+func DetectAnomalies(xs []float64, period int, threshold float64) ([]Anomaly, error) {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	var resid []float64
+	var idx []int
+	if period > 1 {
+		dec, err := Decompose(xs, period)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range dec.Residual {
+			if math.IsNaN(r) {
+				continue
+			}
+			resid = append(resid, r)
+			idx = append(idx, i)
+		}
+	} else {
+		if len(xs) < 4 {
+			return nil, ErrInsufficient
+		}
+		d := detrendLinear(xs)
+		for i, r := range d {
+			resid = append(resid, r)
+			idx = append(idx, i)
+		}
+	}
+	sd := math.Sqrt(Variance(resid))
+	if sd == 0 {
+		return nil, nil
+	}
+	m := Mean(resid)
+	var out []Anomaly
+	for j, r := range resid {
+		z := (r - m) / sd
+		if math.Abs(z) >= threshold {
+			out = append(out, Anomaly{Index: idx[j], Value: xs[idx[j]], Z: z})
+		}
+	}
+	return out, nil
+}

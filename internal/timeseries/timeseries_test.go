@@ -1,0 +1,333 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// seasonalSeries builds trend + sin seasonality(period) + noise.
+func seasonalSeries(n, period int, trendSlope, amp, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 100 + trendSlope*float64(i) +
+			amp*math.Sin(2*math.Pi*float64(i)/float64(period)) +
+			noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestMeanVariance(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance([]float64{2, 4}); got != 1 {
+		t.Errorf("Variance = %v", got)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of singleton != 0")
+	}
+}
+
+func TestMovingAverageOdd(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ma, err := MovingAverage(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(ma[0]) || !math.IsNaN(ma[4]) {
+		t.Error("edges must be NaN")
+	}
+	for i := 1; i <= 3; i++ {
+		if ma[i] != float64(i+1) {
+			t.Errorf("ma[%d] = %v", i, ma[i])
+		}
+	}
+}
+
+func TestMovingAverageEven(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ma, err := MovingAverage(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x4-MA at index 2: (1/2 + 2 + 3 + 4 + 5/2)/4 = 3
+	if math.Abs(ma[2]-3) > 1e-12 {
+		t.Errorf("ma[2] = %v", ma[2])
+	}
+	if !math.IsNaN(ma[0]) || !math.IsNaN(ma[1]) || !math.IsNaN(ma[5]) {
+		t.Error("edge NaNs wrong for even window")
+	}
+}
+
+func TestMovingAverageErrors(t *testing.T) {
+	if _, err := MovingAverage([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("window 1 must error")
+	}
+	if _, err := MovingAverage([]float64{1, 2}, 3); err != ErrInsufficient {
+		t.Errorf("short series: %v", err)
+	}
+}
+
+func TestACFPeriodic(t *testing.T) {
+	xs := seasonalSeries(120, 6, 0, 10, 0.1, 1)
+	acf, err := ACF(xs, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong positive autocorrelation at lag 6 and 12.
+	if acf[5] < 0.8 || acf[11] < 0.7 {
+		t.Errorf("acf[6]=%v acf[12]=%v", acf[5], acf[11])
+	}
+	// Anticorrelation at half period.
+	if acf[2] > 0 {
+		t.Errorf("acf[3]=%v, want negative", acf[2])
+	}
+}
+
+func TestACFConstantSeries(t *testing.T) {
+	xs := make([]float64, 20)
+	for i := range xs {
+		xs[i] = 7
+	}
+	acf, err := ACF(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range acf {
+		if r != 0 {
+			t.Errorf("constant series acf = %v", acf)
+		}
+	}
+}
+
+func TestACFErrors(t *testing.T) {
+	if _, err := ACF([]float64{1, 2}, 0); err == nil {
+		t.Error("maxLag 0 must error")
+	}
+	if _, err := ACF([]float64{1, 2}, 5); err != ErrInsufficient {
+		t.Errorf("short: %v", err)
+	}
+}
+
+func TestDetectSeasonalityPeriod6(t *testing.T) {
+	// The Figure 1 scenario: monthly indicator, seasonal period 6,
+	// moderate noise so confidence lands near 0.9.
+	xs := seasonalSeries(120, 6, 0.1, 8, 2.0, 42)
+	s, err := DetectSeasonality(xs, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Period != 6 {
+		t.Fatalf("period = %d, want 6 (conf %v)", s.Period, s.Confidence)
+	}
+	if !s.Significant {
+		t.Error("period-6 peak should be significant")
+	}
+	if s.Confidence < 0.7 || s.Confidence > 1 {
+		t.Errorf("confidence = %v", s.Confidence)
+	}
+}
+
+func TestDetectSeasonalityNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	s, err := DetectSeasonality(xs, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure noise: either nothing found or a weak accidental peak.
+	if s.Period != 0 && s.Confidence > 0.5 {
+		t.Errorf("noise produced period %d conf %v", s.Period, s.Confidence)
+	}
+}
+
+func TestDetectSeasonalityWithStrongTrend(t *testing.T) {
+	// A steep trend must not mask the seasonality (we detrend first).
+	xs := seasonalSeries(120, 12, 3.0, 10, 1.0, 3)
+	s, err := DetectSeasonality(xs, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Period != 12 {
+		t.Errorf("period = %d, want 12", s.Period)
+	}
+}
+
+func TestDetectSeasonalityInsufficient(t *testing.T) {
+	xs := seasonalSeries(10, 6, 0, 5, 0.1, 1)
+	if _, err := DetectSeasonality(xs, 12); err != ErrInsufficient {
+		t.Errorf("want ErrInsufficient, got %v", err)
+	}
+	if _, err := DetectSeasonality(xs, 1); err == nil {
+		t.Error("maxPeriod 1 must error")
+	}
+}
+
+func TestDecomposeReconstruction(t *testing.T) {
+	xs := seasonalSeries(60, 6, 0.5, 5, 0.5, 9)
+	dec, err := Decompose(xs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if math.IsNaN(dec.Trend[i]) {
+			if !math.IsNaN(dec.Residual[i]) {
+				t.Errorf("residual defined where trend is not, i=%d", i)
+			}
+			continue
+		}
+		sum := dec.Trend[i] + dec.Seasonal[i] + dec.Residual[i]
+		if math.Abs(sum-xs[i]) > 1e-9 {
+			t.Errorf("reconstruction off at %d: %v vs %v", i, sum, xs[i])
+		}
+	}
+	// Seasonal component repeats with the period.
+	for i := 0; i+6 < len(xs); i++ {
+		if dec.Seasonal[i] != dec.Seasonal[i+6] {
+			t.Errorf("seasonal not periodic at %d", i)
+		}
+	}
+	// Seasonal component has (approximately) zero mean over one period.
+	var s float64
+	for i := 0; i < 6; i++ {
+		s += dec.Seasonal[i]
+	}
+	if math.Abs(s) > 1e-9 {
+		t.Errorf("seasonal mean = %v", s/6)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("period 1 must error")
+	}
+	if _, err := Decompose([]float64{1, 2, 3}, 6); err != ErrInsufficient {
+		t.Errorf("short: %v", err)
+	}
+}
+
+func TestDetectTrendDirections(t *testing.T) {
+	up := make([]float64, 50)
+	down := make([]float64, 50)
+	rng := rand.New(rand.NewSource(4))
+	for i := range up {
+		up[i] = float64(i) + rng.NormFloat64()
+		down[i] = -2*float64(i) + rng.NormFloat64()
+	}
+	ru, err := DetectTrend(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ru.Direction != TrendIncreasing || ru.Confidence < 0.95 {
+		t.Errorf("up trend = %+v", ru)
+	}
+	rd, _ := DetectTrend(down)
+	if rd.Direction != TrendDecreasing {
+		t.Errorf("down trend = %+v", rd)
+	}
+	flat := make([]float64, 50)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	rf, _ := DetectTrend(flat)
+	if rf.Direction != TrendStable {
+		t.Errorf("flat trend = %+v", rf)
+	}
+}
+
+func TestDetectTrendPerfectLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	r, err := DetectTrend(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Direction != TrendIncreasing || r.Confidence != 1 || math.Abs(r.Slope-1) > 1e-12 {
+		t.Errorf("perfect line = %+v", r)
+	}
+	xs = []float64{5, 5, 5, 5}
+	r, _ = DetectTrend(xs)
+	if r.Direction != TrendStable {
+		t.Errorf("constant = %+v", r)
+	}
+}
+
+func TestDetectTrendInsufficient(t *testing.T) {
+	if _, err := DetectTrend([]float64{1, 2}); err != ErrInsufficient {
+		t.Errorf("want ErrInsufficient, got %v", err)
+	}
+}
+
+func TestCheckSufficiency(t *testing.T) {
+	r := CheckSufficiency(120, 6)
+	if !r.OK || r.Needed != 12 {
+		t.Errorf("sufficiency = %+v", r)
+	}
+	r = CheckSufficiency(10, 6)
+	if r.OK {
+		t.Errorf("10 points should not suffice for period 6: %+v", r)
+	}
+	if r.Explanation == "" {
+		t.Error("missing explanation")
+	}
+	r = CheckSufficiency(100, 1)
+	if r.OK {
+		t.Error("period 1 must be rejected")
+	}
+}
+
+func TestTrendDirectionString(t *testing.T) {
+	if TrendIncreasing.String() != "increasing" || TrendDecreasing.String() != "decreasing" || TrendStable.String() != "stable" {
+		t.Error("direction strings wrong")
+	}
+}
+
+// Property: ACF values lie in [-1, 1].
+func TestACFBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 64)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		acf, err := ACF(xs, 20)
+		if err != nil {
+			return false
+		}
+		for _, r := range acf {
+			if r < -1.000001 || r > 1.000001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decomposition confidence (seasonal strength) is monotone
+// in the signal-to-noise ratio.
+func TestConfidenceMonotoneInSNR(t *testing.T) {
+	low := seasonalSeries(120, 6, 0, 8, 8.0, 5)  // noisy
+	high := seasonalSeries(120, 6, 0, 8, 0.5, 5) // clean
+	sl, err := DetectSeasonality(low, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := DetectSeasonality(high, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Confidence <= sl.Confidence {
+		t.Errorf("clean conf %v <= noisy conf %v", sh.Confidence, sl.Confidence)
+	}
+}

@@ -1,0 +1,56 @@
+package workload
+
+import "math/rand"
+
+// BiasLogs is a synthetic conversation-log corpus with known planted
+// biases, for evaluating the bias analyzer (E10).
+type BiasLogs struct {
+	Corpus []string
+	// GroupTerms are all demographic-style terms mentioned in the
+	// corpus; a subset carries planted negative associations.
+	GroupTerms []string
+	// Planted maps group term → the negative descriptor planted for
+	// it (ground truth). Groups not present here are clean.
+	Planted map[string]string
+}
+
+var biasGroups = []string{"northerners", "southerners", "easterners", "westerners", "islanders", "highlanders"}
+var negDescriptors = []string{"lazy", "unreliable", "dishonest", "incompetent", "aggressive"}
+var neutralFill = []string{
+	"the survey covers employment in all regions this quarter",
+	"monthly labour statistics were updated for every canton",
+	"dataset freshness is checked before each recommendation",
+	"seasonal decomposition ran on the indicator series",
+	"users asked about wage distributions and participation rates",
+}
+
+// GenBiasLogs plants a negative association for `biased` of the
+// groups and leaves the rest clean, mixing in neutral chatter.
+// perGroup controls the number of mentions per group.
+func GenBiasLogs(biased, perGroup int, seed int64) *BiasLogs {
+	rng := rand.New(rand.NewSource(seed))
+	if biased > len(biasGroups) {
+		biased = len(biasGroups)
+	}
+	out := &BiasLogs{Planted: map[string]string{}}
+	out.GroupTerms = append(out.GroupTerms, biasGroups...)
+	for gi, g := range biasGroups {
+		plantedDesc := ""
+		if gi < biased {
+			plantedDesc = negDescriptors[rng.Intn(len(negDescriptors))]
+			out.Planted[g] = plantedDesc
+		}
+		for i := 0; i < perGroup; i++ {
+			if plantedDesc != "" && rng.Float64() < 0.7 {
+				out.Corpus = append(out.Corpus, "many said the "+g+" applicants seemed "+plantedDesc+" during interviews")
+			} else {
+				out.Corpus = append(out.Corpus, "the "+g+" applicants joined the program in several cantons")
+			}
+			out.Corpus = append(out.Corpus, neutralFill[rng.Intn(len(neutralFill))])
+		}
+	}
+	rng.Shuffle(len(out.Corpus), func(i, j int) {
+		out.Corpus[i], out.Corpus[j] = out.Corpus[j], out.Corpus[i]
+	})
+	return out
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/reliable-cda/cda/internal/catalog"
+)
+
+// DiscoveryQuery is one labeled dataset-discovery task.
+type DiscoveryQuery struct {
+	Text   string
+	Target string // dataset ID the query is about
+	// Mismatch marks queries phrased with vocabulary that does not
+	// appear verbatim in the target's description (the case dense
+	// retrieval exists for).
+	Mismatch bool
+}
+
+// DiscoveryWorkload bundles a catalog with labeled queries.
+type DiscoveryWorkload struct {
+	Catalog *catalog.Catalog
+	Queries []DiscoveryQuery
+	Now     int
+}
+
+type discSpec struct {
+	id, name, desc string
+	tags           []string
+	// matched queries share vocabulary with the description;
+	// mismatched ones are paraphrases with morphological or synonym
+	// shifts.
+	matched    []string
+	mismatched []string
+}
+
+var discPool = []discSpec{
+	{
+		id: "barometer", name: "Swiss Labour Market Barometer",
+		desc: "monthly leading indicator from a survey of labour market experts",
+		tags: []string{"labour", "market", "indicator"},
+		matched: []string{
+			"labour market indicator survey",
+			"monthly labour market barometer",
+		},
+		mismatched: []string{
+			"barometric employment signals",
+			"workforce temperature gauge",
+		},
+	},
+	{
+		id: "emptype", name: "Employment type distribution",
+		desc: "distribution of employment types for employees older than fifteen",
+		tags: []string{"employment", "demographics"},
+		matched: []string{
+			"employment type distribution",
+			"distribution of employment for employees",
+		},
+		mismatched: []string{
+			"how people are employed by category",
+			"employee categorisation statistics",
+		},
+	},
+	{
+		id: "hospital", name: "Hospital stays",
+		desc: "inpatient hospital stay durations and billing by ward",
+		tags: []string{"health", "hospital"},
+		matched: []string{
+			"hospital stay durations",
+			"billing by hospital ward",
+		},
+		mismatched: []string{
+			"hospitalization length records",
+			"inpatients and their bills",
+		},
+	},
+	{
+		id: "energy", name: "Electricity consumption",
+		desc: "household electricity consumption by canton and month",
+		tags: []string{"energy", "electricity"},
+		matched: []string{
+			"household electricity consumption",
+			"electricity use by canton",
+		},
+		mismatched: []string{
+			"how much power homes consume",
+			"electrical usage of households",
+		},
+	},
+	{
+		id: "tourism", name: "Overnight stays in tourism",
+		desc: "hotel overnight stays of foreign and domestic tourists",
+		tags: []string{"tourism", "hotels"},
+		matched: []string{
+			"hotel overnight stays",
+			"tourist overnight statistics",
+		},
+		mismatched: []string{
+			"touristic accommodation nights",
+			"where travellers sleep",
+		},
+	},
+	{
+		id: "transport", name: "Rail passenger volumes",
+		desc: "rail passenger volumes on major routes per quarter",
+		tags: []string{"transport", "rail"},
+		matched: []string{
+			"rail passenger volumes",
+			"passengers on rail routes",
+		},
+		mismatched: []string{
+			"train ridership figures",
+			"railway travellers per quarter",
+		},
+	},
+}
+
+// GenDiscovery builds a discovery workload of n queries sampled from
+// the pool, deterministic in seed.
+func GenDiscovery(n int, seed int64) *DiscoveryWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	now := 10
+	cat := catalog.New()
+	for _, s := range discPool {
+		cat.Add(catalog.Dataset{
+			ID: s.id, Name: s.name, Description: s.desc, Tags: s.tags,
+			UpdatedAt: now, Cadence: 12,
+		})
+	}
+	w := &DiscoveryWorkload{Catalog: cat, Now: now}
+	for len(w.Queries) < n {
+		s := discPool[rng.Intn(len(discPool))]
+		if rng.Float64() < 0.5 {
+			w.Queries = append(w.Queries, DiscoveryQuery{
+				Text: s.matched[rng.Intn(len(s.matched))], Target: s.id,
+			})
+		} else {
+			w.Queries = append(w.Queries, DiscoveryQuery{
+				Text: s.mismatched[rng.Intn(len(s.mismatched))], Target: s.id, Mismatch: true,
+			})
+		}
+	}
+	return w
+}

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/ground"
+	"github.com/reliable-cda/cda/internal/storage"
+)
+
+// tableSpec is one generator blueprint for a relational table.
+type tableSpec struct {
+	name       string
+	synonyms   []string
+	strCols    []strColSpec
+	numCols    []numColSpec
+	rowsMin    int
+	rowsSpread int
+}
+
+type strColSpec struct {
+	name     string
+	synonyms []string
+	values   []string
+}
+
+type numColSpec struct {
+	name     string
+	synonyms []string
+	lo, hi   float64
+	isInt    bool
+}
+
+var tablePool = []tableSpec{
+	{
+		name: "employees", synonyms: []string{"staff", "personnel"},
+		strCols: []strColSpec{
+			{name: "department", synonyms: []string{"unit", "division"}, values: []string{"Engineering", "Sales", "Support", "Finance"}},
+			{name: "city", synonyms: []string{"location"}, values: []string{"Zurich", "Bern", "Geneva"}},
+		},
+		numCols: []numColSpec{
+			{name: "salary", synonyms: []string{"pay", "wage"}, lo: 50, hi: 200},
+			{name: "age", synonyms: []string{"years"}, lo: 20, hi: 65, isInt: true},
+		},
+		rowsMin: 40, rowsSpread: 40,
+	},
+	{
+		name: "products", synonyms: []string{"items", "goods"},
+		strCols: []strColSpec{
+			{name: "category", synonyms: []string{"kind", "type"}, values: []string{"Food", "Tools", "Books", "Toys"}},
+		},
+		numCols: []numColSpec{
+			{name: "price", synonyms: []string{"cost"}, lo: 1, hi: 500},
+			{name: "stock", synonyms: []string{"inventory"}, lo: 0, hi: 1000, isInt: true},
+		},
+		rowsMin: 30, rowsSpread: 50,
+	},
+	{
+		name: "patients", synonyms: []string{"cases"},
+		strCols: []strColSpec{
+			{name: "ward", synonyms: []string{"unit"}, values: []string{"Cardiology", "Oncology", "Pediatrics"}},
+		},
+		numCols: []numColSpec{
+			{name: "stay_days", synonyms: []string{"duration"}, lo: 1, hi: 60, isInt: true},
+			{name: "bill", synonyms: []string{"charge"}, lo: 100, hi: 90000},
+		},
+		rowsMin: 25, rowsSpread: 40,
+	},
+	{
+		name: "orders", synonyms: []string{"purchases"},
+		strCols: []strColSpec{
+			{name: "status", synonyms: []string{"state"}, values: []string{"open", "shipped", "returned"}},
+			{name: "region", synonyms: []string{"area"}, values: []string{"north", "south", "east", "west"}},
+		},
+		numCols: []numColSpec{
+			{name: "amount", synonyms: []string{"value"}, lo: 5, hi: 2500},
+		},
+		rowsMin: 50, rowsSpread: 60,
+	},
+}
+
+// NL2SQLWorkload is a generated benchmark instance: a database, the
+// vocabulary of synonyms the questions may use, and labeled
+// question/gold-SQL pairs.
+type NL2SQLWorkload struct {
+	DB    *storage.Database
+	Vocab *ground.Vocabulary
+	Pairs []QA
+	// Fabrications are plausible-but-wrong identifiers for the noisy
+	// channel (column names from the OTHER tables).
+	Fabrications []string
+}
+
+// QA is one labeled translation task.
+type QA struct {
+	Question string
+	GoldSQL  string
+	// UsesSynonyms marks questions whose surface forms need the
+	// vocabulary to resolve (the grounding-dependent subset).
+	UsesSynonyms bool
+}
+
+// GenNL2SQL builds a workload with n question/SQL pairs over the full
+// table pool. synonymRate is the probability a mention uses a synonym
+// instead of the schema name.
+func GenNL2SQL(n int, synonymRate float64, seed int64) *NL2SQLWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	db := storage.NewDatabase("bench")
+	vocab := ground.NewVocabulary()
+	var fabrications []string
+
+	for _, spec := range tablePool {
+		schema := storage.Schema{{Name: "id", Kind: storage.KindInt}}
+		for _, sc := range spec.strCols {
+			schema = append(schema, storage.ColumnDef{Name: sc.name, Kind: storage.KindString})
+		}
+		for _, nc := range spec.numCols {
+			kind := storage.KindFloat
+			if nc.isInt {
+				kind = storage.KindInt
+			}
+			schema = append(schema, storage.ColumnDef{Name: nc.name, Kind: kind})
+		}
+		t := storage.NewTable(spec.name, schema)
+		rows := spec.rowsMin + rng.Intn(spec.rowsSpread+1)
+		for r := 0; r < rows; r++ {
+			row := []storage.Value{storage.Int(int64(r + 1))}
+			for _, sc := range spec.strCols {
+				row = append(row, storage.Str(sc.values[rng.Intn(len(sc.values))]))
+			}
+			for _, nc := range spec.numCols {
+				v := nc.lo + rng.Float64()*(nc.hi-nc.lo)
+				if nc.isInt {
+					row = append(row, storage.Int(int64(v)))
+				} else {
+					row = append(row, storage.Float(float64(int(v*100))/100))
+				}
+			}
+			t.MustAppendRow(row...)
+		}
+		db.Put(t)
+
+		for _, syn := range spec.synonyms {
+			vocab.AddSynonym(syn, spec.name)
+		}
+		for _, sc := range spec.strCols {
+			for _, syn := range sc.synonyms {
+				vocab.AddSynonym(syn, sc.name)
+			}
+			fabrications = append(fabrications, sc.name+"x")
+		}
+		for _, nc := range spec.numCols {
+			for _, syn := range nc.synonyms {
+				vocab.AddSynonym(syn, nc.name)
+			}
+			fabrications = append(fabrications, nc.name+"s2")
+		}
+	}
+
+	w := &NL2SQLWorkload{DB: db, Vocab: vocab, Fabrications: fabrications}
+	for len(w.Pairs) < n {
+		w.Pairs = append(w.Pairs, genPair(rng, synonymRate))
+	}
+	return w
+}
+
+// surface picks the schema name or, with probability rate, one of its
+// synonyms, reporting whether a synonym was used.
+func surface(rng *rand.Rand, rate float64, name string, synonyms []string) (string, bool) {
+	if len(synonyms) > 0 && rng.Float64() < rate {
+		return synonyms[rng.Intn(len(synonyms))], true
+	}
+	return name, false
+}
+
+func genPair(rng *rand.Rand, synRate float64) QA {
+	spec := tablePool[rng.Intn(len(tablePool))]
+	tSurf, tSyn := surface(rng, synRate, spec.name, spec.synonyms)
+	usesSyn := tSyn
+
+	kind := rng.Intn(3)
+	var question, gold string
+	switch kind {
+	case 0: // count
+		question = fmt.Sprintf("how many %s", tSurf)
+		gold = fmt.Sprintf("SELECT COUNT(*) FROM %s", spec.name)
+		if len(spec.strCols) > 0 && rng.Float64() < 0.6 {
+			sc := spec.strCols[rng.Intn(len(spec.strCols))]
+			val := sc.values[rng.Intn(len(sc.values))]
+			cSurf, cSyn := surface(rng, synRate, sc.name, sc.synonyms)
+			usesSyn = usesSyn || cSyn
+			question += fmt.Sprintf(" where %s is %s", cSurf, val)
+			gold += fmt.Sprintf(" WHERE %s = '%s'", sc.name, val)
+		}
+	case 1: // aggregate
+		nc := spec.numCols[rng.Intn(len(spec.numCols))]
+		aggWord := []string{"average", "total", "maximum", "minimum"}[rng.Intn(4)]
+		aggSQL := map[string]string{"average": "AVG", "total": "SUM", "maximum": "MAX", "minimum": "MIN"}[aggWord]
+		ncSurf, ncSyn := surface(rng, synRate, nc.name, nc.synonyms)
+		usesSyn = usesSyn || ncSyn
+		question = fmt.Sprintf("what is the %s %s in %s", aggWord, ncSurf, tSurf)
+		gold = fmt.Sprintf("SELECT %s(%s) FROM %s", aggSQL, nc.name, spec.name)
+		switch {
+		case len(spec.strCols) > 0 && rng.Float64() < 0.4:
+			sc := spec.strCols[rng.Intn(len(spec.strCols))]
+			val := sc.values[rng.Intn(len(sc.values))]
+			cSurf, cSyn := surface(rng, synRate, sc.name, sc.synonyms)
+			usesSyn = usesSyn || cSyn
+			question += fmt.Sprintf(" where %s is %s", cSurf, val)
+			gold += fmt.Sprintf(" WHERE %s = '%s'", sc.name, val)
+		case len(spec.strCols) > 0 && rng.Float64() < 0.3:
+			sc := spec.strCols[rng.Intn(len(spec.strCols))]
+			gSurf, gSyn := surface(rng, synRate, sc.name, sc.synonyms)
+			usesSyn = usesSyn || gSyn
+			question += fmt.Sprintf(" by %s", gSurf)
+			gold = fmt.Sprintf("SELECT %s, %s(%s) FROM %s GROUP BY %s", sc.name, aggSQL, nc.name, spec.name, sc.name)
+		}
+	default: // list
+		var cols, colSurfs []string
+		ncount := 1 + rng.Intn(2)
+		for i := 0; i < ncount && i < len(spec.numCols); i++ {
+			nc := spec.numCols[i]
+			s, syn := surface(rng, synRate, nc.name, nc.synonyms)
+			usesSyn = usesSyn || syn
+			cols = append(cols, nc.name)
+			colSurfs = append(colSurfs, s)
+		}
+		question = fmt.Sprintf("list the %s of %s", strings.Join(colSurfs, " and "), tSurf)
+		gold = fmt.Sprintf("SELECT %s FROM %s", strings.Join(cols, ", "), spec.name)
+		if len(spec.strCols) > 0 && rng.Float64() < 0.5 {
+			sc := spec.strCols[rng.Intn(len(spec.strCols))]
+			val := sc.values[rng.Intn(len(sc.values))]
+			cSurf, cSyn := surface(rng, synRate, sc.name, sc.synonyms)
+			usesSyn = usesSyn || cSyn
+			question += fmt.Sprintf(" where %s is %s", cSurf, val)
+			gold += fmt.Sprintf(" WHERE %s = '%s'", sc.name, val)
+		}
+	}
+	return QA{Question: question, GoldSQL: gold, UsesSynonyms: usesSyn}
+}

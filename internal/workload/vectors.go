@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/reliable-cda/cda/internal/vectorindex"
+)
+
+// VectorParams configures the clustered vector workload used by the
+// E2 similarity-search experiment.
+type VectorParams struct {
+	N        int // indexed vectors
+	Queries  int
+	Dim      int
+	Clusters int
+	Spread   float64 // intra-cluster std dev
+	Scale    float64 // inter-cluster scale
+	Seed     int64
+}
+
+// DefaultVectorParams matches the paper-scale laptop workload.
+func DefaultVectorParams() VectorParams {
+	return VectorParams{N: 20000, Queries: 100, Dim: 32, Clusters: 16, Spread: 1, Scale: 5, Seed: 1}
+}
+
+// GenVectors draws data and queries from the same Gaussian-mixture
+// distribution (queries are held out, not indexed).
+func GenVectors(p VectorParams) (data, queries []vectorindex.Vector) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	centers := make([]vectorindex.Vector, p.Clusters)
+	for i := range centers {
+		c := make(vectorindex.Vector, p.Dim)
+		for d := range c {
+			c[d] = float32(rng.NormFloat64() * p.Scale)
+		}
+		centers[i] = c
+	}
+	draw := func() vectorindex.Vector {
+		ctr := centers[rng.Intn(len(centers))]
+		v := make(vectorindex.Vector, p.Dim)
+		for d := range v {
+			v[d] = ctr[d] + float32(rng.NormFloat64()*p.Spread)
+		}
+		return v
+	}
+	data = make([]vectorindex.Vector, p.N)
+	for i := range data {
+		data[i] = draw()
+	}
+	queries = make([]vectorindex.Vector, p.Queries)
+	for i := range queries {
+		queries[i] = draw()
+	}
+	return data, queries
+}
