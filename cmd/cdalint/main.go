@@ -1,0 +1,102 @@
+// Command cdalint runs the repo's reliability-invariant analyzers
+// (internal/analysis) over module packages and reports findings with
+// file:line positions. It exits 1 when any finding survives the
+// cdalint:ignore directives, so it can gate CI (scripts/check.sh).
+//
+// Usage:
+//
+//	cdalint [flags] [pattern ...]
+//
+// Patterns are ./..., directory paths, or module-internal import
+// paths; the default is ./... from the current directory's module.
+//
+// Flags:
+//
+//	-rules a,b   run only the named analyzers
+//	-tests       also lint in-package _test.go files
+//	-list        print the available analyzers and exit
+//	-werror      treat warnings as fatal (default true)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/analysis"
+)
+
+var (
+	rules  = flag.String("rules", "", "comma-separated analyzer names to run (default all)")
+	tests  = flag.Bool("tests", false, "also lint in-package _test.go files")
+	list   = flag.Bool("list", false, "list available analyzers and exit")
+	werror = flag.Bool("werror", true, "exit nonzero on warnings too")
+)
+
+func main() {
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-20s %s: %s\n", a.Name, a.Severity, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *rules != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.AnalyzerByName(name)
+			if a == nil {
+				fatalf("cdalint: unknown analyzer %q (use -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("cdalint: %v", err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatalf("cdalint: %v", err)
+	}
+	loader.IncludeTests = *tests
+
+	var pkgs []*analysis.Package
+	for _, pat := range patterns {
+		ps, err := loader.Load(pat)
+		if err != nil {
+			fatalf("cdalint: %v", err)
+		}
+		pkgs = append(pkgs, ps...)
+	}
+
+	findings := analysis.Run(pkgs, analyzers)
+	bad := 0
+	for _, f := range findings {
+		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+		if f.Severity == analysis.SeverityError || *werror {
+			bad++
+		}
+	}
+	if bad > 0 {
+		fatalf("cdalint: %d finding(s) in %d package(s)", bad, len(pkgs))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

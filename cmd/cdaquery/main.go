@@ -45,9 +45,12 @@ func main() {
 		}
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		t, err := storage.ReadCSV(name, f, nil)
-		f.Close()
+		cerr := f.Close()
 		if err != nil {
 			fatal(err)
+		}
+		if cerr != nil {
+			fatal(cerr)
 		}
 		db.Put(t)
 	}

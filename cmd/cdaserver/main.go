@@ -54,9 +54,12 @@ func main() {
 			}
 			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 			t, err := storage.ReadCSV(name, f, nil)
-			f.Close()
+			cerr := f.Close()
 			if err != nil {
 				log.Fatal(err)
+			}
+			if cerr != nil {
+				log.Fatal(cerr)
 			}
 			db.Put(t)
 			cat.Add(catalog.Dataset{ID: name, Name: name, Description: "loaded from " + path, Source: path, Table: t})

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// loadFixture loads one testdata fixture package with a loader
+// rooted at this module (so fixtures can import real module
+// packages like internal/core).
+func loadFixture(t *testing.T, loader *Loader, dir string) *Package {
+	t.Helper()
+	p, err := loader.LoadDir(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if p == nil {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	return p
+}
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return loader
+}
+
+// renderFindings formats findings with paths relative to the
+// fixture root so golden files are machine-independent.
+func renderFindings(t *testing.T, findings []Finding) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, f := range findings {
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = filepath.ToSlash(rel)
+		}
+		sb.WriteString(f.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestAnalyzersGolden checks each analyzer against its deliberately
+// broken fixture package: the exact findings must match the golden
+// file, and every cdalint:ignore'd site must be absent.
+func TestAnalyzersGolden(t *testing.T) {
+	cases := []struct {
+		rule string
+		dir  string
+	}{
+		{"dropped-error", "droppederror"},
+		{"nondeterminism", "nondeterminism"},
+		{"unannotated-answer", "unannotated"},
+		{"mutex-hygiene", "mutex"},
+		{"map-order-leak", "maporder"},
+		{"bare-panic", "barepanic"},
+	}
+	loader := newTestLoader(t)
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			a := AnalyzerByName(tc.rule)
+			if a == nil {
+				t.Fatalf("unknown analyzer %q", tc.rule)
+			}
+			p := loadFixture(t, loader, tc.dir)
+			got := renderFindings(t, Run([]*Package{p}, []*Analyzer{a}))
+			if got == "" {
+				t.Fatalf("analyzer %s found nothing in its broken fixture", tc.rule)
+			}
+			goldenPath := filepath.Join("testdata", tc.dir+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", tc.rule, got, want)
+			}
+		})
+	}
+}
+
+// TestSuppressedSitesAreCounted double-checks the fixtures really
+// contain the suppressed violations: with ignore processing bypassed
+// (calling the analyzer directly), each fixture must yield MORE
+// findings than the golden set.
+func TestSuppressedSitesAreCounted(t *testing.T) {
+	cases := map[string]string{
+		"dropped-error":      "droppederror",
+		"nondeterminism":     "nondeterminism",
+		"unannotated-answer": "unannotated",
+		"mutex-hygiene":      "mutex",
+		"map-order-leak":     "maporder",
+		"bare-panic":         "barepanic",
+	}
+	loader := newTestLoader(t)
+	for rule, dir := range cases {
+		a := AnalyzerByName(rule)
+		p := loadFixture(t, loader, dir)
+		raw := len(a.Run(p))
+		filtered := len(Run([]*Package{p}, []*Analyzer{a}))
+		if raw <= filtered {
+			t.Errorf("%s: raw findings %d should exceed post-ignore findings %d (fixture must include a suppressed case)",
+				rule, raw, filtered)
+		}
+	}
+}
+
+// TestModuleIsClean lints the entire module with the full suite —
+// the same gate scripts/check.sh enforces. Any finding here means a
+// reliability invariant regressed.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint is slow; skipped with -short")
+	}
+	loader := newTestLoader(t)
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
+	}
+	findings := Run(pkgs, Analyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestAnalyzerByName covers the lookup used by the -rules flag.
+func TestAnalyzerByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		if AnalyzerByName(a.Name) != a {
+			t.Errorf("AnalyzerByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if AnalyzerByName("no-such-rule") != nil {
+		t.Error("AnalyzerByName should return nil for unknown rules")
+	}
+}
+
+// TestIgnoreParsing covers directive parsing edge cases.
+func TestIgnoreParsing(t *testing.T) {
+	if got := parseRuleList(" dropped-error, bare-panic -- reason"); !got["dropped-error"] || !got["bare-panic"] {
+		t.Errorf("comma list not parsed: %v", got)
+	}
+	if got := parseRuleList(""); !got["*"] {
+		t.Errorf("bare directive should suppress all rules: %v", got)
+	}
+	if got := parseRuleList(" all"); !got["*"] {
+		t.Errorf("'all' should map to wildcard: %v", got)
+	}
+}

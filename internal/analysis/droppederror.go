@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DroppedError flags error values that are silently discarded: a
+// call used as a bare statement whose results include an error, and
+// assignments that blank an error-typed result with `_`. Silently
+// dropped errors on grounding and provenance paths are exactly how a
+// reliable-by-construction pipeline degrades into a hopeful one (P4
+// Soundness), so every discard must be explicit and justified.
+//
+// Writes to in-memory sinks that are documented never to fail
+// (strings.Builder, bytes.Buffer — including through fmt.Fprint*)
+// are exempt.
+var DroppedError = &Analyzer{
+	Name:     ruleDroppedError,
+	Doc:      "error-typed return values discarded via _ or an unused call result",
+	Severity: SeverityError,
+	Run:      runDroppedError,
+}
+
+func runDroppedError(p *Package) []Finding {
+	var out []Finding
+	for _, fd := range funcDecls(p) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if idx := errorResultIndex(p, call); idx >= 0 && !infallibleCall(p, call) {
+					out = append(out, Finding{
+						Rule: ruleDroppedError, Severity: SeverityError,
+						Pos: p.Fset.Position(call.Pos()),
+						Message: fmt.Sprintf("result %d of %s is an ignored error; handle or explicitly discard it",
+							idx, callName(p, call)),
+					})
+				}
+			case *ast.AssignStmt:
+				out = append(out, blankedErrors(p, st)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// callName names the callee for messages.
+func callName(p *Package, call *ast.CallExpr) string {
+	if fn := calleeFunc(p, call); fn != nil {
+		return fn.Name()
+	}
+	return exprString(p.Fset, call.Fun)
+}
+
+// errorResultIndex returns the index of the first error-typed result
+// of the call, or -1.
+func errorResultIndex(p *Package, call *ast.CallExpr) int {
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+	default:
+		if isErrorType(t) {
+			return 0
+		}
+	}
+	return -1
+}
+
+// blankedErrors flags `_`-assignments whose corresponding value is
+// an error produced by a call in the same statement. Blanking an
+// already-captured variable (e.g. `_ = err` to silence unused) is
+// left alone — the error was at least visible at its origin.
+func blankedErrors(p *Package, st *ast.AssignStmt) []Finding {
+	var out []Finding
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// x, _ := f() — tuple-producing call.
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok || infallibleCall(p, call) {
+			return nil
+		}
+		tup, ok := p.Info.Types[call].Type.(*types.Tuple)
+		if !ok || tup.Len() != len(st.Lhs) {
+			return nil
+		}
+		for i, lhs := range st.Lhs {
+			if isBlank(lhs) && isErrorType(tup.At(i).Type()) {
+				out = append(out, Finding{
+					Rule: ruleDroppedError, Severity: SeverityError,
+					Pos: p.Fset.Position(lhs.Pos()),
+					Message: fmt.Sprintf("error result of %s discarded with _; handle it or name the reason",
+						callName(p, call)),
+				})
+			}
+		}
+		return out
+	}
+	for i := range st.Lhs {
+		if i >= len(st.Rhs) || !isBlank(st.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr)
+		if !ok || infallibleCall(p, call) {
+			continue
+		}
+		if tv, ok := p.Info.Types[call]; ok && isErrorType(tv.Type) {
+			out = append(out, Finding{
+				Rule: ruleDroppedError, Severity: SeverityError,
+				Pos: p.Fset.Position(st.Lhs[i].Pos()),
+				Message: fmt.Sprintf("error result of %s discarded with _; handle it or name the reason",
+					callName(p, call)),
+			})
+		}
+	}
+	return out
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// infallibleSinks are types whose Write* methods are documented to
+// always return a nil error.
+func infallibleSink(t types.Type) bool {
+	path, name := namedPathName(t)
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}
+
+// infallibleCall exempts writes that cannot fail: methods on
+// strings.Builder / bytes.Buffer, and fmt.Fprint* whose destination
+// is such a sink.
+func infallibleCall(p *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if infallibleSink(sig.Recv().Type()) {
+			return true
+		}
+	}
+	full := fn.FullName()
+	switch full {
+	case "fmt.Print", "fmt.Printf", "fmt.Println":
+		// Console output: a write error to stdout is not actionable.
+		return true
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		if len(call.Args) > 0 {
+			if tv, ok := p.Info.Types[call.Args[0]]; ok && infallibleSink(tv.Type) {
+				return true
+			}
+			if isStdStream(p, call.Args[0]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isStdStream matches os.Stdout / os.Stderr destinations, whose
+// write errors are as unactionable as fmt.Print's.
+func isStdStream(p *Package, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}

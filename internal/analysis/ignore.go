@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignoreDirective is the comment marker that suppresses findings.
+const ignoreDirective = "cdalint:ignore"
+
+// ignoreSet maps filename → line → set of suppressed rule names. The
+// wildcard rule "*" suppresses everything on that line.
+type ignoreSet map[string]map[int]map[string]bool
+
+// ignoresFor scans a package's comments for cdalint:ignore
+// directives. A directive applies to its own line (end-of-line
+// placement) and to the following line (preceding-comment
+// placement).
+func ignoresFor(p *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(strings.TrimSpace(text), "/*")
+				idx := strings.Index(text, ignoreDirective)
+				if idx < 0 {
+					continue
+				}
+				rest := text[idx+len(ignoreDirective):]
+				// Cut trailing prose after the rule list: rules are the
+				// first comma/space separated tokens that look like
+				// rule names; a "--" or "—" starts a free-text reason.
+				if cut := strings.Index(rest, "--"); cut >= 0 {
+					rest = rest[:cut]
+				}
+				rules := parseRuleList(rest)
+				pos := p.Fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					set[pos.Filename] = byLine
+				}
+				// The directive covers its own line (end-of-line
+				// placement) and, when it heads a comment group, every
+				// line through the one after the group (preceding-
+				// comment placement with a wrapped reason).
+				last := p.Fset.Position(cg.End()).Line + 1
+				for line := pos.Line; line <= last; line++ {
+					if byLine[line] == nil {
+						byLine[line] = map[string]bool{}
+					}
+					for r := range rules {
+						byLine[line][r] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseRuleList extracts rule names from the directive tail; an
+// empty tail means all rules ("*").
+func parseRuleList(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, tok := range strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t'
+	}) {
+		if AnalyzerByName(tok) != nil || tok == "all" || tok == "*" {
+			if tok == "all" {
+				tok = "*"
+			}
+			out[tok] = true
+		} else {
+			// Unknown word: treat the directive as prose from here on.
+			break
+		}
+	}
+	if len(out) == 0 {
+		out["*"] = true
+	}
+	return out
+}
+
+// suppressed reports whether the finding is covered by a directive.
+func (s ignoreSet) suppressed(f Finding) bool {
+	byLine, ok := s[f.Pos.Filename]
+	if !ok {
+		return false
+	}
+	rules, ok := byLine[f.Pos.Line]
+	if !ok {
+		return false
+	}
+	return rules["*"] || rules[f.Rule]
+}

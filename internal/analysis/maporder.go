@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MapOrderLeak flags functions that range over a map, append into a
+// slice, and return that slice without sorting it. Go randomizes map
+// iteration order, so such a slice leaks nondeterminism straight
+// into user-visible output — suggestion lists, cited sources,
+// catalog listings — and two identical runs of the benchmark stop
+// agreeing (the reproducibility half of P3 Explainability: an
+// explanation that reorders between runs is not the same
+// explanation).
+//
+// The pattern is tolerated when the function also sorts the slice
+// (sort.* or slices.* with the slice as an argument) anywhere before
+// returning, which covers the collect-keys-then-sort idiom.
+var MapOrderLeak = &Analyzer{
+	Name:     ruleMapOrderLeak,
+	Doc:      "slice built from map iteration returned without sorting",
+	Severity: SeverityError,
+	Run:      runMapOrderLeak,
+}
+
+func runMapOrderLeak(p *Package) []Finding {
+	var out []Finding
+	for _, fd := range funcDecls(p) {
+		out = append(out, mapOrderInFunc(p, fd)...)
+	}
+	return out
+}
+
+func mapOrderInFunc(p *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	reported := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, obj := range appendTargets(p, rng.Body) {
+			if reported[obj] {
+				continue
+			}
+			if !returnsIdent(p, fd, obj) {
+				continue
+			}
+			if sortedInFunc(p, fd, obj) {
+				continue
+			}
+			reported[obj] = true
+			out = append(out, Finding{
+				Rule: ruleMapOrderLeak, Severity: SeverityError,
+				Pos: p.Fset.Position(rng.Pos()),
+				Message: fmt.Sprintf("%s is appended from map iteration and returned unsorted; map order is random — sort before returning",
+					obj.Name()),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// appendTargets finds objects assigned via x = append(x, …) inside
+// the range body.
+func appendTargets(p *Package, body *ast.BlockStmt) []types.Object {
+	var out []types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range st.Rhs {
+			if i >= len(st.Lhs) {
+				break
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			lhs, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := p.Info.Uses[lhs]; obj != nil {
+				out = append(out, obj)
+			} else if obj := p.Info.Defs[lhs]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedInFunc reports whether the function calls a sort.* or
+// slices.* function with the object as (part of) an argument.
+func sortedInFunc(p *Package, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(p, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

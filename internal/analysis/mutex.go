@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutexHygiene enforces two lock invariants on the concurrent
+// packages (server, optimizer, vectorindex, catalog) that let this
+// reproduction serve parallel traffic safely:
+//
+//  1. no by-value copies of structs containing sync.Mutex /
+//     sync.RWMutex (parameters, receivers, range variables, plain
+//     assignments) — a copied lock silently stops guarding;
+//  2. every Lock/RLock acquired in a function is released in that
+//     function, either by a defer'd Unlock or by an explicit Unlock
+//     with no early return in between.
+var MutexHygiene = &Analyzer{
+	Name:     ruleMutexHygiene,
+	Doc:      "by-value copies of lock-bearing structs; locks without a safe unlock",
+	Severity: SeverityError,
+	Run:      runMutexHygiene,
+}
+
+func runMutexHygiene(p *Package) []Finding {
+	var out []Finding
+	out = append(out, lockCopies(p)...)
+	for _, fd := range funcDecls(p) {
+		out = append(out, lockPairing(p, fd)...)
+	}
+	return out
+}
+
+// --- check 1: by-value copies -------------------------------------
+
+// containsLock reports whether t (not a pointer to it) embeds a
+// sync.Mutex or sync.RWMutex anywhere in its struct tree.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if path, name := namedPathName(t); path == "sync" && (name == "Mutex" || name == "RWMutex") {
+		// A bare pointer to a lock never reaches here: namedPathName
+		// unwraps it, so guard on the concrete kind below.
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if _, isPtr := ft.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(ft, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeHasLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return containsLock(t, map[types.Type]bool{})
+}
+
+func lockCopies(p *Package) []Finding {
+	var out []Finding
+	flag := func(pos token.Pos, what string, t types.Type) {
+		out = append(out, Finding{
+			Rule: ruleMutexHygiene, Severity: SeverityError,
+			Pos: p.Fset.Position(pos),
+			Message: fmt.Sprintf("%s copies %s which contains a mutex; pass a pointer so the lock keeps guarding",
+				what, t.String()),
+		})
+	}
+	for _, fd := range funcDecls(p) {
+		// By-value receivers and parameters.
+		if fd.Recv != nil {
+			for _, field := range fd.Recv.List {
+				if tv, ok := p.Info.Types[field.Type]; ok && typeHasLock(tv.Type) {
+					flag(field.Pos(), "receiver", tv.Type)
+				}
+			}
+		}
+		for _, field := range fd.Type.Params.List {
+			if tv, ok := p.Info.Types[field.Type]; ok && typeHasLock(tv.Type) {
+				flag(field.Pos(), "parameter", tv.Type)
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.RangeStmt:
+				if st.Value != nil {
+					// Range idents introduced with := are definitions,
+					// so resolve their type through Defs.
+					var t types.Type
+					if id, ok := st.Value.(*ast.Ident); ok {
+						if obj := p.Info.Defs[id]; obj != nil {
+							t = obj.Type()
+						}
+					}
+					if t == nil {
+						if tv, ok := p.Info.Types[st.Value]; ok {
+							t = tv.Type
+						}
+					}
+					if typeHasLock(t) {
+						flag(st.Value.Pos(), "range value", t)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range st.Rhs {
+					if i >= len(st.Lhs) {
+						break
+					}
+					if isBlank(st.Lhs[i]) {
+						continue // _ = x is a use marker, not a real copy
+					}
+					if !copiesExisting(rhs) {
+						continue
+					}
+					if tv, ok := p.Info.Types[rhs]; ok && typeHasLock(tv.Type) {
+						flag(rhs.Pos(), "assignment", tv.Type)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// copiesExisting reports whether the expression reads an existing
+// value (identifier, field, index, deref) rather than constructing a
+// fresh one.
+func copiesExisting(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		_ = e
+		return true
+	}
+	return false
+}
+
+// --- check 2: lock/unlock pairing ---------------------------------
+
+type lockKind int
+
+const (
+	writeLock lockKind = iota
+	readLock
+)
+
+type lockEvent struct {
+	key      string // receiver expression, e.g. "s.mu"
+	kind     lockKind
+	pos      token.Pos
+	deferred bool
+	unlock   bool
+}
+
+// lockPairing walks one function and checks every Lock/RLock has a
+// safe release.
+func lockPairing(p *Package, fd *ast.FuncDecl) []Finding {
+	var events []lockEvent
+	var returns []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, st.Pos())
+		case *ast.DeferStmt:
+			if ev, ok := lockCall(p, st.Call); ok {
+				ev.deferred = true
+				events = append(events, ev)
+			}
+			return false // don't double-count the inner CallExpr
+		case *ast.CallExpr:
+			if ev, ok := lockCall(p, st); ok {
+				events = append(events, ev)
+			}
+		case *ast.FuncLit:
+			// Closures manage their own locks; analyzed separately if
+			// ever needed. Skip to avoid cross-scope confusion.
+			return false
+		}
+		return true
+	})
+
+	var out []Finding
+	for _, acq := range events {
+		if acq.unlock || acq.deferred {
+			continue
+		}
+		if ok, msg := releaseIsSafe(p, acq, events, returns); !ok {
+			out = append(out, Finding{
+				Rule: ruleMutexHygiene, Severity: SeverityError,
+				Pos:     p.Fset.Position(acq.pos),
+				Message: msg,
+			})
+		}
+	}
+	return out
+}
+
+// releaseIsSafe finds a matching release for the acquisition and
+// checks no return can escape between them.
+func releaseIsSafe(p *Package, acq lockEvent, events []lockEvent, returns []token.Pos) (bool, string) {
+	verb := "Unlock"
+	if acq.kind == readLock {
+		verb = "RUnlock"
+	}
+	// A defer'd unlock of the same lock anywhere in the function is
+	// always safe.
+	for _, ev := range events {
+		if ev.unlock && ev.deferred && ev.key == acq.key && ev.kind == acq.kind {
+			return true, ""
+		}
+	}
+	// Otherwise find the first explicit unlock after the acquisition.
+	var first token.Pos
+	for _, ev := range events {
+		if ev.unlock && !ev.deferred && ev.key == acq.key && ev.kind == acq.kind && ev.pos > acq.pos {
+			if first == token.NoPos || ev.pos < first {
+				first = ev.pos
+			}
+		}
+	}
+	if first == token.NoPos {
+		return false, fmt.Sprintf("%s.%s acquired but never released in this function; add defer %s.%s()",
+			acq.key, lockVerb(acq.kind), acq.key, verb)
+	}
+	for _, ret := range returns {
+		if ret > acq.pos && ret < first {
+			return false, fmt.Sprintf("return between %s.%s and %s.%s can leak the lock; use defer %s.%s()",
+				acq.key, lockVerb(acq.kind), acq.key, verb, acq.key, verb)
+		}
+	}
+	return true, ""
+}
+
+func lockVerb(k lockKind) string {
+	if k == readLock {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// lockCall classifies a call as a mutex acquire/release, keyed by
+// the receiver expression text.
+func lockCall(p *Package, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockEvent{}, false
+	}
+	ev := lockEvent{key: exprString(p.Fset, sel.X), pos: call.Pos()}
+	switch fn.Name() {
+	case "Lock":
+		ev.kind = writeLock
+	case "RLock":
+		ev.kind = readLock
+	case "Unlock":
+		ev.kind, ev.unlock = writeLock, true
+	case "RUnlock":
+		ev.kind, ev.unlock = readLock, true
+	default:
+		return lockEvent{}, false
+	}
+	return ev, true
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// Nondeterminism flags wall-clock and global-randomness calls that
+// would make benchmark and experiment runs irreproducible: the
+// simulated NL model (DESIGN.md §2) is only a valid experimental
+// instrument because every stochastic component is driven by an
+// explicit seed, and every paper number can be regenerated
+// bit-for-bit. time.Now() and the global math/rand source are the
+// two ways determinism silently leaks out of such a system.
+//
+// Explicitly-seeded sources (rand.New(rand.NewSource(seed))) are
+// fine. An allowlist covers the two places wall-clock time is the
+// point: internal/metrics timing counters and internal/experiments
+// wall-clock measurements.
+var Nondeterminism = &Analyzer{
+	Name:     ruleNondeterminism,
+	Doc:      "time.Now() or the global math/rand source outside the timing allowlist",
+	Severity: SeverityError,
+	Run:      runNondeterminism,
+}
+
+// nondetAllowlist lists locations where wall-clock access is
+// intentional: pkgSuffix matches the end of the import path, file
+// (optional) restricts to one basename within it.
+var nondetAllowlist = []struct {
+	pkgSuffix string
+	file      string
+}{
+	{pkgSuffix: "internal/experiments"},                    // measures real latency
+	{pkgSuffix: "internal/metrics", file: "counters.go"},   // timing instrumentation
+}
+
+// nondetAllowedFuncs are math/rand package-level functions that
+// construct explicit sources rather than touching the global one.
+var nondetAllowedFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runNondeterminism(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		fname := p.Fset.Position(f.Pos()).Filename
+		if nondetAllowed(p.Path, fname) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig := fn.FullName()
+			switch {
+			case sig == "time.Now" || sig == "time.Since":
+				out = append(out, Finding{
+					Rule: ruleNondeterminism, Severity: SeverityError,
+					Pos:     p.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf("%s() makes runs irreproducible; thread a logical clock or seed through the config", fn.Name()),
+				})
+			case (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") && isPackageLevel(fn) && !nondetAllowedFuncs[fn.Name()]:
+				out = append(out, Finding{
+					Rule: ruleNondeterminism, Severity: SeverityError,
+					Pos: p.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf("rand.%s uses the global math/rand source; use rand.New(rand.NewSource(seed)) so runs are reproducible",
+						fn.Name()),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isPackageLevel reports whether fn is a package-level function (not
+// a method, e.g. (*rand.Rand).Intn which is fine on a seeded source).
+func isPackageLevel(fn interface{ FullName() string }) bool {
+	return !strings.Contains(fn.FullName(), "(")
+}
+
+func nondetAllowed(pkgPath, filename string) bool {
+	base := filepath.Base(filename)
+	for _, a := range nondetAllowlist {
+		if strings.HasSuffix(pkgPath, a.pkgSuffix) && (a.file == "" || a.file == base) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BarePanic flags panic(...) calls. A conversational analytics
+// server must degrade to an error answer, not crash the process
+// serving every other session; panics are reserved for
+// programmer-error invariants (Must* constructors over static
+// fixtures) and each such site carries a cdalint:ignore directive
+// explaining why the invariant is unreachable from user input.
+var BarePanic = &Analyzer{
+	Name:     ruleBarePanic,
+	Doc:      "panic() where an error return would let the caller recover",
+	Severity: SeverityWarning,
+	Run:      runBarePanic,
+}
+
+func runBarePanic(p *Package) []Finding {
+	var out []Finding
+	for _, fd := range funcDecls(p) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			out = append(out, Finding{
+				Rule: ruleBarePanic, Severity: SeverityWarning,
+				Pos:     p.Fset.Position(call.Pos()),
+				Message: "panic crashes the whole server; return an error unless this is an unreachable programmer-error invariant (then annotate why)",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Package fixture is deliberately broken test input for the
+// bare-panic analyzer.
+package fixture
+
+import "errors"
+
+func bad(x int) int {
+	if x < 0 {
+		panic("negative input")
+	}
+	return x
+}
+
+func good(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("negative input")
+	}
+	return x, nil
+}
+
+func mustGood(x int) int {
+	if x < 0 {
+		// cdalint:ignore bare-panic -- programmer-error invariant
+		panic("negative input")
+	}
+	return x
+}

@@ -1,0 +1,43 @@
+// Package fixture is deliberately broken test input for the
+// dropped-error analyzer. It never compiles into the module (the go
+// tool skips testdata); only internal/analysis tests load it.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func bad() int {
+	mayFail()       // bare statement dropping the error
+	_ = mayFail()   // blanked error from a call
+	n, _ := pair()  // blanked second-position error
+	os.Remove("nothing") // stdlib call with ignored error
+	return n
+}
+
+func good() error {
+	var sb strings.Builder
+	sb.WriteString("builder writes never fail")
+	fmt.Fprintf(&sb, "%d", 1)
+	fmt.Println("console output is exempt")
+	fmt.Fprintln(os.Stderr, "stderr too")
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := pair()
+	_ = n
+	_ = err // blanking a captured variable is allowed
+	return nil
+}
+
+func suppressed() {
+	// cdalint:ignore dropped-error -- fixture demonstrates suppression
+	mayFail()
+	mayFail() // cdalint:ignore dropped-error -- end-of-line placement
+}

@@ -1,0 +1,43 @@
+// Package fixture is deliberately broken test input for the
+// map-order-leak analyzer.
+package fixture
+
+import "sort"
+
+func badKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out // unsorted: leaks random map order to the caller
+}
+
+func goodSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func goodLocal(m map[string]int) int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total // order never escapes
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	// cdalint:ignore map-order-leak -- fixture demonstrates suppression
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

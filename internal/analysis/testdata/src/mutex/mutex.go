@@ -1,0 +1,79 @@
+// Package fixture is deliberately broken test input for the
+// mutex-hygiene analyzer.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+func byValueParam(c counter) int { // copies the lock
+	return c.n
+}
+
+func (c counter) byValueReceiver() int { // copies the lock
+	return c.n
+}
+
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // copies the lock per iteration
+		total += c.n
+	}
+	return total
+}
+
+func assignCopy(a *counter) {
+	b := *a // copies the lock
+	_ = b
+}
+
+func neverUnlocked(c *counter) int {
+	c.mu.Lock() // never released in this function
+	return c.n
+}
+
+func earlyReturn(c *counter, cond bool) int {
+	c.mu.Lock() // leaks when cond is true
+	if cond {
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func goodDefer(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func goodExplicit(c *counter) int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func goodRead(r *registry, k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.items[k]
+}
+
+func goodFresh() counter {
+	return counter{} // constructing a fresh value is not a copy
+}
+
+func suppressedLock(c *counter) {
+	// cdalint:ignore mutex-hygiene -- released by a paired helper
+	c.mu.Lock()
+}

@@ -1,0 +1,26 @@
+// Package fixture is deliberately broken test input for the
+// nondeterminism analyzer.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() (int64, int) {
+	t := time.Now().UnixNano() // wall clock
+	n := rand.Intn(10)         // global source
+	rand.Shuffle(n, func(i, j int) {})
+	d := time.Since(time.Unix(0, t))
+	_ = d
+	return t, n
+}
+
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() // seeded source methods are fine
+}
+
+func suppressed() time.Time {
+	return time.Now() // cdalint:ignore nondeterminism -- fixture demonstrates suppression
+}

@@ -1,0 +1,44 @@
+// Package fixture is deliberately broken test input for the
+// unannotated-answer analyzer. It constructs real core.Answer values
+// so the check is exercised against the actual audited type.
+package fixture
+
+import "github.com/reliable-cda/cda/internal/core"
+
+func bad1() *core.Answer {
+	return &core.Answer{Text: "no annotations at all"}
+}
+
+func bad2() *core.Answer {
+	ans := &core.Answer{}
+	ans.Text = "text is not an annotation"
+	return ans
+}
+
+func goodAbstained() *core.Answer {
+	return &core.Answer{Text: "refused", Abstained: true}
+}
+
+func goodConfidence() *core.Answer {
+	ans := &core.Answer{Text: "x"}
+	ans.Confidence = 0.9
+	return ans
+}
+
+func goodEvidenceField() *core.Answer {
+	ans := &core.Answer{Text: "x"}
+	ans.Evidence.RawModel = 0.5
+	return ans
+}
+
+func finalize(a *core.Answer) *core.Answer { return a }
+
+func goodFinalized() *core.Answer {
+	ans := &core.Answer{Text: "x"}
+	return finalize(ans)
+}
+
+func suppressed() *core.Answer {
+	// cdalint:ignore unannotated-answer -- fixture demonstrates suppression
+	return &core.Answer{Text: "ignored"}
+}

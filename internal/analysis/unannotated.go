@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UnannotatedAnswer flags construction sites of the system's answer
+// types that never attach any reliability annotation. The paper's
+// layer-ⓔ contract (P2 Grounding, P3 Explainability) says every
+// answer leaves the pipeline with a confidence, provenance, and
+// evidence trail — or an explicit abstention. A composite literal
+// that sets none of those fields, is never assigned them afterwards
+// in the same function, and does not flow through finalize() is an
+// answer that will reach the user unannotated.
+var UnannotatedAnswer = &Analyzer{
+	Name:     ruleUnannotatedAnswer,
+	Doc:      "Answer/response literals that never gain confidence, evidence, provenance, or an abstention",
+	Severity: SeverityError,
+	Run:      runUnannotatedAnswer,
+}
+
+// answerTypeSpec describes one audited answer type: a package-path
+// suffix plus type name, the annotation fields any one of which
+// satisfies the contract, and function names that perform the
+// annotation when the literal flows through them.
+type answerTypeSpec struct {
+	pkgSuffix  string
+	typeName   string
+	fields     map[string]bool
+	finalizers map[string]bool
+}
+
+var answerTypes = []answerTypeSpec{
+	{
+		pkgSuffix:  "internal/core",
+		typeName:   "Answer",
+		fields:     map[string]bool{"Confidence": true, "Evidence": true, "Provenance": true, "Abstained": true},
+		finalizers: map[string]bool{"finalize": true},
+	},
+	{
+		pkgSuffix:  "internal/server",
+		typeName:   "AskResponse",
+		fields:     map[string]bool{"Confidence": true, "Abstained": true},
+		finalizers: map[string]bool{},
+	},
+}
+
+func matchAnswerType(t types.Type) *answerTypeSpec {
+	path, name := namedPathName(t)
+	for i := range answerTypes {
+		spec := &answerTypes[i]
+		if name == spec.typeName && strings.HasSuffix(path, spec.pkgSuffix) {
+			return spec
+		}
+	}
+	return nil
+}
+
+func runUnannotatedAnswer(p *Package) []Finding {
+	var out []Finding
+	for _, fd := range funcDecls(p) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[lit]
+			if !ok {
+				return true
+			}
+			spec := matchAnswerType(tv.Type)
+			if spec == nil {
+				return true
+			}
+			if literalSetsAnnotation(lit, spec) {
+				return true
+			}
+			if obj := assignedVar(p, fd, lit); obj != nil {
+				if annotatedLater(p, fd, obj, spec) {
+					return true
+				}
+			}
+			out = append(out, Finding{
+				Rule: ruleUnannotatedAnswer, Severity: SeverityError,
+				Pos: p.Fset.Position(lit.Pos()),
+				Message: fmt.Sprintf("%s constructed without confidence/evidence/provenance and never annotated or finalized; unannotated answers violate the layer-ⓔ contract",
+					spec.typeName),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// literalSetsAnnotation reports whether the literal itself sets one
+// of the annotation fields (positional literals set all fields).
+func literalSetsAnnotation(lit *ast.CompositeLit, spec *answerTypeSpec) bool {
+	if len(lit.Elts) == 0 {
+		return false
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return true // positional: every field initialised
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && spec.fields[key.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// assignedVar returns the variable object the literal is directly
+// bound to (ans := &Answer{} / var ans = Answer{}), or nil.
+func assignedVar(p *Package, fd *ast.FuncDecl, lit *ast.CompositeLit) types.Object {
+	var obj types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				if stripAddr(rhs) == lit {
+					if id, ok := st.Lhs[i].(*ast.Ident); ok {
+						if o := p.Info.Defs[id]; o != nil {
+							obj = o
+						} else if o := p.Info.Uses[id]; o != nil {
+							obj = o
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range st.Values {
+				if stripAddr(v) == lit && i < len(st.Names) {
+					if o := p.Info.Defs[st.Names[i]]; o != nil {
+						obj = o
+					}
+				}
+			}
+		}
+		return obj == nil
+	})
+	return obj
+}
+
+func stripAddr(e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		return ast.Unparen(u.X)
+	}
+	return e
+}
+
+// annotatedLater reports whether the function later assigns an
+// annotation field on the variable or passes it to a finalizer.
+func annotatedLater(p *Package, fd *ast.FuncDecl, obj types.Object, spec *answerTypeSpec) bool {
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				// ans.Field = … — or a deeper chain rooted at the field.
+				sel := rootSelector(lhs)
+				if sel == nil {
+					continue
+				}
+				if id, isIdent := sel.X.(*ast.Ident); isIdent && p.Info.Uses[id] == obj && spec.fields[sel.Sel.Name] {
+					ok = true
+				}
+			}
+		case *ast.CallExpr:
+			name := ""
+			switch fun := ast.Unparen(st.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if !spec.finalizers[name] {
+				return true
+			}
+			for _, arg := range st.Args {
+				if mentionsObject(p, arg, obj) {
+					ok = true
+				}
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// rootSelector unwraps a selector chain (a.B.C → a.B) to the
+// selector whose X is the root expression.
+func rootSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		if _, isIdent := sel.X.(*ast.Ident); isIdent {
+			return sel
+		}
+		e = sel.X
+	}
+}

@@ -86,6 +86,8 @@ func (e *Embedder) EmbedRow(t *storage.Table, row int) vectorindex.Vector {
 
 func addFeature(v []float64, feature string, weight float64) {
 	h := fnv.New64a()
+	// cdalint:ignore dropped-error -- hash.Hash.Write is documented to
+	// never return an error.
 	h.Write([]byte(feature))
 	sum := h.Sum64()
 	idx := int(sum % uint64(len(v)))

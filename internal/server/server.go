@@ -16,6 +16,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -63,7 +64,13 @@ func (s *Server) Handler() http.Handler {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already on the wire, so the client cannot
+		// be told; surface the failure to the operator instead of
+		// dropping it (a truncated annotated answer silently loses its
+		// provenance/confidence payload).
+		log.Printf("server: encoding response: %v", err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

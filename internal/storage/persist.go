@@ -92,9 +92,12 @@ func LoadDir(dir string) (*Database, error) {
 			return nil, err
 		}
 		t, err := ReadCSV(mt.Name, f, schema)
-		f.Close()
+		cerr := f.Close()
 		if err != nil {
 			return nil, err
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("storage: closing %s.csv: %w", mt.Name, cerr)
 		}
 		t.Description = mt.Description
 		db.Put(t)
@@ -119,9 +122,12 @@ func loadInferred(dir string) (*Database, error) {
 		}
 		name := e.Name()[:len(e.Name())-len(".csv")]
 		t, err := ReadCSV(name, f, nil)
-		f.Close()
+		cerr := f.Close()
 		if err != nil {
 			return nil, err
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("storage: closing %s: %w", e.Name(), cerr)
 		}
 		db.Put(t)
 		loaded++

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# check.sh — the extended verification gate for this repo.
+#
+# Runs, in order:
+#   1. go vet        — stock Go correctness checks
+#   2. go build      — every package compiles
+#   3. cdalint       — the repo's own reliability analyzers
+#                      (dropped-error, nondeterminism, unannotated-answer,
+#                       mutex-hygiene, map-order-leak, bare-panic)
+#   4. go test -race — full test suite under the race detector
+#
+# Any non-zero exit fails the gate. See README "Static analysis &
+# reliability invariants" for what each cdalint rule enforces.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> cdalint ./..."
+go run ./cmd/cdalint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all gates passed"
