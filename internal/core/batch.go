@@ -1,0 +1,44 @@
+package core
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"github.com/reliable-cda/cda/internal/parallel"
+)
+
+// RespondBatch answers a slice of independent questions concurrently
+// over `workers` goroutines (0 = GOMAXPROCS, 1 = serial), returning
+// the answers in input order. Each question runs in its own fresh
+// session, and its model-confidence stream is seeded from (Seed,
+// question text) rather than drawn from the system's shared stream —
+// so every answer is a pure function of the question, independent of
+// worker count, batch order, and of which concurrent caller wins a
+// singleflight race in the answer cache. Duplicate questions in one
+// batch therefore produce identical answers. The first error (by
+// question index) aborts the batch.
+func (s *System) RespondBatch(questions []string, workers int) ([]*Answer, error) {
+	answers := make([]*Answer, len(questions))
+	o := parallel.Options{Workers: workers, SerialThreshold: 1}
+	err := parallel.ForEach(len(questions), o, func(i int) error {
+		sess := s.NewSession()
+		rng := rand.New(rand.NewSource(s.cfg.Seed ^ hashString(questions[i])))
+		ans, err := s.respond(sess, questions[i], rng)
+		if err != nil {
+			return err
+		}
+		answers[i] = ans
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return answers, nil
+}
+
+func hashString(s string) int64 {
+	h := fnv.New64a()
+	// cdalint:ignore dropped-error -- hash.Hash.Write never fails.
+	h.Write([]byte(s))
+	return int64(h.Sum64())
+}

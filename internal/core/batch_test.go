@@ -1,0 +1,107 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var batchQuestions = []string{
+	"how many employment",
+	"how many employment where canton is Zurich",
+	"what is the average value where canton is Bern",
+	"how many employment", // duplicate: must answer identically
+	"zorp blat quux",      // unknown intent: asks back, no error
+	"list the canton of employment",
+}
+
+// TestRespondBatchDeterministic: answers are a pure function of the
+// question text — identical across runs, worker counts, and question
+// positions (the duplicate must match its twin exactly).
+func TestRespondBatchDeterministic(t *testing.T) {
+	run := func(workers int) []string {
+		s := swissSystem(t, nil)
+		answers, err := s.RespondBatch(batchQuestions, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := make([]string, len(answers))
+		for i, a := range answers {
+			out[i] = a.Text + "|" + a.Code
+		}
+		return out
+	}
+	want := run(1)
+	if want[0] != want[3] {
+		t.Fatalf("duplicate question answered differently:\n%q\n%q", want[0], want[3])
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d question %d diverged:\n got %q\nwant %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRespondBatchAnswersAreCorrect spot-checks content: batching must
+// not change what the pipeline computes.
+func TestRespondBatchAnswersAreCorrect(t *testing.T) {
+	s := swissSystem(t, nil)
+	answers, err := s.RespondBatch(batchQuestions, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := answers[1]; a.Abstained || !strings.Contains(a.Text, "20") {
+		t.Errorf("Zurich count answer = %+v", a)
+	}
+	if a := answers[4]; !a.Abstained || a.Clarification == "" {
+		t.Errorf("unknown intent answer = %+v", a)
+	}
+	if !answers[0].Evidence.Verified {
+		t.Error("count answer not verified")
+	}
+}
+
+// TestRespondBatchUsesCache: the duplicate question is served from
+// the answer cache or joins its twin's in-flight computation — never
+// a third full pipeline run.
+func TestRespondBatchUsesCache(t *testing.T) {
+	s := swissSystem(t, nil)
+	if _, err := s.RespondBatch(batchQuestions, 4); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := s.cache.Stats()
+	if hits+s.cache.Deduped() == 0 {
+		t.Error("duplicate question neither hit the cache nor joined a flight")
+	}
+}
+
+// TestConcurrentRespondAcrossSessions: many sessions asking mixed
+// questions at once must be race-free (the shared rng is serialized,
+// the cache singleflights) and still answer correctly.
+func TestConcurrentRespondAcrossSessions(t *testing.T) {
+	s := swissSystem(t, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := s.NewSession()
+			for i := 0; i < 4; i++ {
+				q := batchQuestions[(g+i)%len(batchQuestions)]
+				ans, err := s.Respond(sess, q)
+				if err != nil {
+					t.Errorf("Respond(%q): %v", q, err)
+					return
+				}
+				if ans == nil || ans.Text == "" {
+					t.Errorf("Respond(%q): empty answer", q)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"github.com/reliable-cda/cda/internal/catalog"
 	"github.com/reliable-cda/cda/internal/dialogue"
@@ -107,6 +108,7 @@ type System struct {
 	rawConf    nlmodel.RawConfidence
 	cache      *optimizer.Cache[*Answer]
 	docs       *docqa.Store
+	rngMu      sync.Mutex // guards rng (rand.Rand is not goroutine-safe)
 	rng        *rand.Rand
 }
 
@@ -184,7 +186,17 @@ func (s *System) NewSession() *dialogue.Session { return dialogue.NewSession() }
 func (s *System) CacheHitRate() float64 { return s.cache.HitRate() }
 
 // Respond handles one user turn: classify intent, dispatch, annotate.
+// It is safe for concurrent use across sessions (callers must still
+// serialize turns within one session).
 func (s *System) Respond(sess *dialogue.Session, userText string) (*Answer, error) {
+	return s.respond(sess, userText, nil)
+}
+
+// respond is the dispatch behind Respond. rng is the model-confidence
+// stream for this turn: nil draws from the system's seeded stream
+// (serialized by rngMu); batch callers pass a per-question stream so
+// answers do not depend on turn interleaving.
+func (s *System) respond(sess *dialogue.Session, userText string, rng *rand.Rand) (*Answer, error) {
 	intent := sess.AddUserTurn(userText)
 	var (
 		ans *Answer
@@ -192,15 +204,15 @@ func (s *System) Respond(sess *dialogue.Session, userText string) (*Answer, erro
 	)
 	switch intent {
 	case dialogue.IntentDiscover:
-		ans, err = s.discover(sess, userText)
+		ans, err = s.discover(sess, userText, rng)
 	case dialogue.IntentDescribe:
-		ans, err = s.describe(sess, userText)
+		ans, err = s.describe(sess, userText, rng)
 	case dialogue.IntentChoose:
-		ans, err = s.choose(sess, userText)
+		ans, err = s.choose(sess, userText, rng)
 	case dialogue.IntentAnalyze:
-		ans, err = s.analyze(sess, userText)
+		ans, err = s.analyze(sess, userText, rng)
 	case dialogue.IntentQuery, dialogue.IntentFollowUp:
-		ans, err = s.query(sess, userText)
+		ans, err = s.query(sess, userText, rng)
 	case dialogue.IntentConfirm:
 		ans = s.confirm(sess, userText)
 	default:
@@ -212,6 +224,17 @@ func (s *System) Respond(sess *dialogue.Session, userText string) (*Answer, erro
 	s.attachSuggestions(sess, intent, ans)
 	sess.AddSystemTurn(ans.Text, ans.Confidence)
 	return ans, nil
+}
+
+// modelScore draws the simulated raw model confidence from rng, or —
+// when rng is nil — from the system's own seeded stream under rngMu.
+func (s *System) modelScore(rng *rand.Rand) float64 {
+	if rng != nil {
+		return s.rawConf.Score(rng)
+	}
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rawConf.Score(s.rng)
 }
 
 func (s *System) attachSuggestions(sess *dialogue.Session, intent dialogue.Intent, ans *Answer) {
@@ -250,15 +273,16 @@ func (s *System) attachSuggestions(sess *dialogue.Session, intent dialogue.Inten
 
 // finalize combines evidence into a calibrated confidence, assembles
 // the explanation from provenance, enforces losslessness, and applies
-// the abstention policy.
-func (s *System) finalize(ans *Answer) *Answer {
+// the abstention policy. rng selects the model-confidence stream (see
+// modelScore).
+func (s *System) finalize(ans *Answer, rng *rand.Rand) *Answer {
 	if s.cfg.DisableProvenance {
 		// E4/E8 ablation: with provenance capture off the system
 		// cannot cite or check sources at all.
 		ans.Provenance = nil
 		ans.AnswerNode = ""
 	}
-	ans.Evidence.RawModel = s.rawConf.Score(s.rng)
+	ans.Evidence.RawModel = s.modelScore(rng)
 	ans.Confidence = s.combiner.Combine(ans.Evidence)
 	if ans.Provenance != nil && ans.AnswerNode != "" {
 		if ex, err := explain.FromProvenance(ans.Provenance, ans.AnswerNode); err == nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"github.com/reliable-cda/cda/internal/catalog"
@@ -47,7 +48,7 @@ func (s *System) groundingStrength(text string) float64 {
 }
 
 // discover handles dataset-discovery turns (Figure 1, turn 1).
-func (s *System) discover(sess *dialogue.Session, text string) (*Answer, error) {
+func (s *System) discover(sess *dialogue.Session, text string, rng *rand.Rand) (*Answer, error) {
 	ans := &Answer{}
 	if s.cfg.Catalog == nil {
 		ans.Abstained = true
@@ -59,7 +60,7 @@ func (s *System) discover(sess *dialogue.Session, text string) (*Answer, error) 
 	if len(recs) == 0 {
 		ans.Evidence = uncertainty.Evidence{Unverifiable: true}
 		ans.Text = "I could not find any dataset matching your question."
-		return s.finalize(ans), nil
+		return s.finalize(ans, rng), nil
 	}
 
 	g := provenance.NewGraph()
@@ -100,7 +101,7 @@ func (s *System) discover(sess *dialogue.Session, text string) (*Answer, error) 
 		GroundingStrength: s.groundingStrength(text),
 		Verified:          true, // catalog lookup is deterministic and cited
 	}
-	return s.finalize(ans), nil
+	return s.finalize(ans, rng), nil
 }
 
 // assumption extracts what the expansion added, for the "I am
@@ -129,7 +130,7 @@ func quoteShort(s string) string {
 }
 
 // describe handles "what is X?" turns (Figure 1, turn 2).
-func (s *System) describe(sess *dialogue.Session, text string) (*Answer, error) {
+func (s *System) describe(sess *dialogue.Session, text string, rng *rand.Rand) (*Answer, error) {
 	ans := &Answer{}
 	// Prefer a KG entity; fall back to an offered/known dataset.
 	var entity string
@@ -164,12 +165,12 @@ func (s *System) describe(sess *dialogue.Session, text string) (*Answer, error) 
 					GroundingStrength: hit.Score + hit.Margin,
 					Verified:          true, // verbatim extraction from a cited document
 				}
-				return s.finalize(ans), nil
+				return s.finalize(ans, rng), nil
 			}
 		}
 		ans.Evidence = uncertainty.Evidence{Unverifiable: true}
 		ans.Text = "I do not have grounded knowledge about that; could you point me to a dataset or concept I know?"
-		return s.finalize(ans), nil
+		return s.finalize(ans, rng), nil
 	}
 
 	g := provenance.NewGraph()
@@ -201,7 +202,7 @@ func (s *System) describe(sess *dialogue.Session, text string) (*Answer, error) 
 		GroundingStrength: s.groundingStrength(text),
 		Verified:          true,
 	}
-	return s.finalize(ans), nil
+	return s.finalize(ans, rng), nil
 }
 
 func uriish(s string) string {
@@ -212,7 +213,7 @@ func uriish(s string) string {
 }
 
 // choose handles "I am interested in X" turns (Figure 1, turn 3).
-func (s *System) choose(sess *dialogue.Session, text string) (*Answer, error) {
+func (s *System) choose(sess *dialogue.Session, text string, rng *rand.Rand) (*Answer, error) {
 	ans := &Answer{}
 	offer, ok := sess.ResolveOffer(text)
 	if !ok {
@@ -244,7 +245,7 @@ func (s *System) choose(sess *dialogue.Session, text string) (*Answer, error) {
 	ans.Provenance = g
 	ans.AnswerNode = ansNode
 	ans.Evidence = uncertainty.Evidence{Consistency: 1, GroundingStrength: 1, Verified: true}
-	return s.finalize(ans), nil
+	return s.finalize(ans, rng), nil
 }
 
 func (s *System) datasetByID(id string) (*catalog.Dataset, error) {
@@ -256,7 +257,7 @@ func (s *System) datasetByID(id string) (*catalog.Dataset, error) {
 
 // analyze handles analytical turns (Figure 1, turn 4): seasonality
 // and trend over the focused dataset.
-func (s *System) analyze(sess *dialogue.Session, text string) (*Answer, error) {
+func (s *System) analyze(sess *dialogue.Session, text string, rng *rand.Rand) (*Answer, error) {
 	ans := &Answer{}
 	dsID := sess.Focus
 	if dsID == "" {
@@ -312,9 +313,9 @@ func (s *System) analyze(sess *dialogue.Session, text string) (*Answer, error) {
 	lower := strings.ToLower(text)
 	switch {
 	case strings.Contains(lower, "forecast") || strings.Contains(lower, "predict"):
-		return s.analyzeForecast(ds, col, vals, season)
+		return s.analyzeForecast(ds, col, vals, season, rng)
 	case strings.Contains(lower, "anomal") || strings.Contains(lower, "outlier"):
-		return s.analyzeAnomalies(ds, col, vals, season)
+		return s.analyzeAnomalies(ds, col, vals, season, rng)
 	}
 
 	sqlText := fmt.Sprintf("SELECT %s FROM %s", col, ds.Table.Name)
@@ -374,13 +375,13 @@ func (s *System) analyze(sess *dialogue.Session, text string) (*Answer, error) {
 		GroundingStrength: 1,
 		Verified:          true, // deterministic computation over cited data
 	}
-	return s.finalize(ans), nil
+	return s.finalize(ans, rng), nil
 }
 
 // analyzeForecast answers forecast requests with explicit prediction
 // intervals (P4: the uncertainty of the prediction is part of the
 // answer).
-func (s *System) analyzeForecast(ds *catalog.Dataset, col string, vals []float64, season *timeseries.Seasonality) (*Answer, error) {
+func (s *System) analyzeForecast(ds *catalog.Dataset, col string, vals []float64, season *timeseries.Seasonality, rng *rand.Rand) (*Answer, error) {
 	ans := &Answer{}
 	const horizon = 6
 	const level = 0.9
@@ -412,12 +413,12 @@ func (s *System) analyzeForecast(ds *catalog.Dataset, col string, vals []float64
 		conf = 0.7 // naive+drift without seasonal structure
 	}
 	ans.Evidence = uncertainty.Evidence{Consistency: conf, GroundingStrength: 1, Verified: true}
-	return s.finalize(ans), nil
+	return s.finalize(ans, rng), nil
 }
 
 // analyzeAnomalies answers outlier requests with the auditable
 // z-score criterion.
-func (s *System) analyzeAnomalies(ds *catalog.Dataset, col string, vals []float64, season *timeseries.Seasonality) (*Answer, error) {
+func (s *System) analyzeAnomalies(ds *catalog.Dataset, col string, vals []float64, season *timeseries.Seasonality, rng *rand.Rand) (*Answer, error) {
 	ans := &Answer{}
 	const threshold = 3.0
 	anomalies, err := timeseries.DetectAnomalies(vals, season.Period, threshold)
@@ -448,7 +449,7 @@ func (s *System) analyzeAnomalies(ds *catalog.Dataset, col string, vals []float6
 	ans.Provenance = g
 	ans.AnswerNode = ansNode
 	ans.Evidence = uncertainty.Evidence{Consistency: 1, GroundingStrength: 1, Verified: true}
-	return s.finalize(ans), nil
+	return s.finalize(ans, rng), nil
 }
 
 // analysisProvenance builds the source → query → computation → answer
@@ -496,19 +497,40 @@ const (
 
 // query handles structured-fact turns — including elliptical
 // follow-ups ("and in Bern?") — through the verified NL2SQL pipeline.
-func (s *System) query(sess *dialogue.Session, text string) (*Answer, error) {
+// Self-contained questions go through the optimizer's singleflight
+// answer cache: concurrent sessions asking the same question share
+// one pipeline run, and a stampede on a cold key computes once.
+func (s *System) query(sess *dialogue.Session, text string, rng *rand.Rand) (*Answer, error) {
 	if s.translator == nil {
 		return &Answer{Abstained: true, Text: "No database is connected."}, nil
 	}
 	// Follow-ups depend on conversation context and must bypass the
 	// text-keyed answer cache.
-	_, freshErr := nl2sql.ParseIntent(text)
-	cacheable := freshErr == nil
-	if cacheable {
-		if cached, ok := s.cache.Get(text); ok {
-			return cached, nil
-		}
+	if _, freshErr := nl2sql.ParseIntent(text); freshErr != nil {
+		ans, _, err := s.queryUncached(sess, text, rng)
+		return ans, err
 	}
+	// A caller served from the cache (or from another caller's flight)
+	// skips its own session-memo updates, exactly as cache hits always
+	// have. The cache shares one *Answer across callers, so each caller
+	// gets a shallow copy — per-session suggestion attachment must not
+	// race on the shared value.
+	ans, err := s.cache.Do(text, func() (*Answer, bool, error) {
+		return s.queryUncached(sess, text, rng)
+	})
+	if ans == nil || err != nil {
+		return nil, err
+	}
+	cp := *ans
+	return &cp, nil
+}
+
+// queryUncached runs the full NL2SQL pipeline for one question. The
+// second result reports whether the answer may be cached and shared:
+// only final committed answers are; clarifications, abstentions, and
+// pending ask-and-refine exchanges carry session side effects and are
+// recomputed per caller.
+func (s *System) queryUncached(sess *dialogue.Session, text string, rng *rand.Rand) (*Answer, bool, error) {
 	var prevFrame *nl2sql.Frame
 	if f, ok := sess.Memo[memoLastFrame].(*nl2sql.Frame); ok {
 		prevFrame = f
@@ -520,7 +542,7 @@ func (s *System) query(sess *dialogue.Session, text string) (*Answer, error) {
 		ans.Text = ans.Clarification
 		ans.Abstained = true
 		ans.Evidence = uncertainty.Evidence{Unverifiable: true}
-		return ans, nil
+		return ans, false, nil
 	}
 	sess.Memo[memoLastFrame] = frame
 	if tr.Abstained {
@@ -528,7 +550,7 @@ func (s *System) query(sess *dialogue.Session, text string) (*Answer, error) {
 		ans.Text = "I could not produce a query I can verify against the data, so I would rather not guess."
 		ans.Code = tr.SQL
 		ans.Evidence = uncertainty.Evidence{Unverifiable: true}
-		return ans, nil
+		return ans, false, nil
 	}
 	ans.Code = tr.SQL
 	ans.Text = renderResult(tr.Result)
@@ -538,7 +560,7 @@ func (s *System) query(sess *dialogue.Session, text string) (*Answer, error) {
 		Meta: map[string]string{"query": tr.SQL}})
 	ansNode := g.AddNode(provenance.Node{Kind: provenance.KindAnswer, Label: "result of: " + text})
 	if err := g.DerivedFrom(ansNode, q); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	for _, tbl := range tablesOf(tr) {
 		meta := map[string]string{"dataset": tbl}
@@ -549,7 +571,7 @@ func (s *System) query(sess *dialogue.Session, text string) (*Answer, error) {
 		}
 		src := g.AddNode(provenance.Node{ID: "source:" + tbl, Kind: provenance.KindSource, Label: tbl, Meta: meta})
 		if err := g.DerivedFrom(q, src); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	ans.Provenance = g
@@ -561,7 +583,7 @@ func (s *System) query(sess *dialogue.Session, text string) (*Answer, error) {
 		Verified:          verified,
 		Unverifiable:      tr.Result == nil,
 	}
-	out := s.finalize(ans)
+	out := s.finalize(ans, rng)
 	// Ask-and-refine (the paper's "ask-and-refine dialogues"): when
 	// the evidence fell just short of the threshold but a verifiable
 	// candidate exists, show it and ask instead of silently
@@ -581,12 +603,9 @@ func (s *System) query(sess *dialogue.Session, text string) (*Answer, error) {
 			"I am only %.0f%% confident. My best interpretation is:\n  %s\nShall I run with it? (yes/no)",
 			out.Confidence*100, tr.SQL)
 		out.Text = out.Clarification
-		return out, nil
+		return out, false, nil
 	}
-	if cacheable {
-		s.cache.Put(text, out)
-	}
-	return out, nil
+	return out, true, nil
 }
 
 // confirm resolves a pending ask-and-refine exchange.

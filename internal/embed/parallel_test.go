@@ -1,0 +1,65 @@
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/textindex"
+)
+
+var parPhrases = []string{
+	"quarterly revenue by city", "employment growth census",
+	"hospital budget district", "school energy consumption",
+	"housing prices transport", "tourism water usage climate",
+	"salary distribution population", "tax income quarter",
+}
+
+func genDense(n int, seed int64) *DenseIndex {
+	rng := rand.New(rand.NewSource(seed))
+	ix := NewDenseIndex(nil)
+	for i := 0; i < n; i++ {
+		ix.Add(Item{
+			ID:   fmt.Sprintf("item-%d", i),
+			Text: parPhrases[rng.Intn(len(parPhrases))] + " " + parPhrases[rng.Intn(len(parPhrases))],
+		})
+	}
+	return ix
+}
+
+// TestDenseSearchParallelMatchesSerial: the chunked similarity scan
+// must reproduce the serial hit list exactly for any worker count.
+func TestDenseSearchParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		ix := genDense(2500, seed)
+		for _, q := range []string{"revenue growth", "hospital climate", "salary"} {
+			want := ix.Search(q, 20)
+			for _, workers := range []int{2, 4, 8} {
+				got := ix.SearchParallel(q, 20, workers)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("seed=%d workers=%d %q: parallel hits diverge", seed, workers, q)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridSearchMatchesSerialComposition: the concurrent two-leg
+// hybrid must equal fusing the serial legs.
+func TestHybridSearchMatchesSerialComposition(t *testing.T) {
+	dense := genDense(2000, 3)
+	lex := textindex.NewIndex()
+	for i := 0; i < dense.Len(); i++ {
+		lex.Add(textindex.Document{ID: dense.items[i].ID, Text: dense.items[i].Text})
+	}
+	for _, q := range []string{"revenue by city", "school energy", "tourism climate usage"} {
+		want := Hybrid(dense.Search(q, 15), lex.Search(q, 15), 15)
+		for _, workers := range []int{1, 4} {
+			got := HybridSearch(dense, lex, q, 15, workers)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d %q: hybrid diverges from serial composition", workers, q)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -136,19 +137,22 @@ func TestBatcher(t *testing.T) {
 	}
 }
 
-func TestSharedComputesOnce(t *testing.T) {
-	s := NewShared[int]()
+// TestDoComputesOnce: under a concurrent stampede on one key, the
+// compute runs exactly once — callers either lead, join the flight,
+// or hit the freshly cached value.
+func TestDoComputesOnce(t *testing.T) {
+	c := NewCache[int](4)
 	var calls atomic.Int32
-	compute := func() (int, error) {
+	compute := func() (int, bool, error) {
 		calls.Add(1)
-		return 7, nil
+		return 7, true, nil
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := s.Do("key", compute)
+			v, err := c.Do("key", compute)
 			if err != nil || v != 7 {
 				t.Errorf("do = %v %v", v, err)
 			}
@@ -158,27 +162,124 @@ func TestSharedComputesOnce(t *testing.T) {
 	if calls.Load() != 1 {
 		t.Errorf("compute ran %d times", calls.Load())
 	}
+	if v, ok := c.Get("key"); !ok || v != 7 {
+		t.Errorf("value not cached: %v %v", v, ok)
+	}
 }
 
-func TestSharedDistinctKeys(t *testing.T) {
-	s := NewShared[string]()
-	a, _ := s.Do("a", func() (string, error) { return "A", nil })
-	b, _ := s.Do("b", func() (string, error) { return "B", nil })
+// TestDoSharesErrorWithWaiters: waiters that joined the flight get
+// the leader's error without computing, but the error is not cached —
+// the next call retries.
+func TestDoSharesErrorWithWaiters(t *testing.T) {
+	c := NewCache[int](4)
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, err := c.Do("k", func() (int, bool, error) {
+			calls.Add(1)
+			close(entered)
+			<-release
+			return 0, false, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-entered // the flight is registered; joiners now must wait
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Do("k", func() (int, bool, error) {
+				calls.Add(1)
+				return 0, false, nil
+			})
+			if !errors.Is(err, boom) {
+				t.Errorf("waiter err = %v", err)
+			}
+		}()
+	}
+	for c.Deduped() < 8 { // wait for all 8 to join the flight
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times", calls.Load())
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("error result cached")
+	}
+	// The error was not cached: a later call retries.
+	v, err := c.Do("k", func() (int, bool, error) { return 5, true, nil })
+	if err != nil || v != 5 {
+		t.Errorf("retry = %v %v", v, err)
+	}
+}
+
+// TestDoNonCacheableNotShared: when the leader reports store=false
+// with no error, its result is caller-specific — waiters run their
+// own compute and nothing lands in the cache.
+func TestDoNonCacheableNotShared(t *testing.T) {
+	c := NewCache[int](4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, err := c.Do("k", func() (int, bool, error) {
+			close(entered)
+			<-release
+			return 1, false, nil
+		})
+		if err != nil || v != 1 {
+			t.Errorf("leader = %v %v", v, err)
+		}
+	}()
+	<-entered
+	var wg sync.WaitGroup
+	var waiterCalls atomic.Int32
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("k", func() (int, bool, error) {
+				waiterCalls.Add(1)
+				return 2, false, nil
+			})
+			if err != nil || v != 2 {
+				t.Errorf("waiter = %v %v", v, err)
+			}
+		}()
+	}
+	for c.Deduped() < 4 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	if waiterCalls.Load() != 4 {
+		t.Errorf("waiters computed %d times, want 4", waiterCalls.Load())
+	}
+	if c.Len() != 0 {
+		t.Errorf("non-cacheable result stored; len = %d", c.Len())
+	}
+}
+
+func TestDoDistinctKeys(t *testing.T) {
+	c := NewCache[string](4)
+	a, _ := c.Do("a", func() (string, bool, error) { return "A", true, nil })
+	b, _ := c.Do("b", func() (string, bool, error) { return "B", true, nil })
 	if a != "A" || b != "B" {
 		t.Errorf("values = %q %q", a, b)
 	}
-}
-
-func TestSharedPropagatesError(t *testing.T) {
-	s := NewShared[int]()
-	boom := errors.New("boom")
-	_, err := s.Do("k", func() (int, error) { return 0, boom })
-	if !errors.Is(err, boom) {
-		t.Errorf("err = %v", err)
-	}
-	// Error results are retained too (deterministic replay).
-	_, err = s.Do("k", func() (int, error) { return 1, nil })
-	if !errors.Is(err, boom) {
-		t.Errorf("retained err = %v", err)
+	if c.Deduped() != 0 {
+		t.Errorf("deduped = %d, want 0", c.Deduped())
 	}
 }

@@ -201,3 +201,106 @@ func TestConcurrentAsk(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestConcurrentAskOneSession hammers a single session from many
+// goroutines. The server serializes turns per session, so the final
+// transcript must hold exactly one user and one system turn per
+// request, strictly alternating — no torn or interleaved turns.
+func TestConcurrentAskOneSession(t *testing.T) {
+	ts := testServer(t)
+	id := createSession(t, ts)
+	const asks = 24
+	questions := []string{
+		"how many barometer",
+		"how many employment",
+		"how many employment where canton is Zurich",
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < asks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/sessions/"+id+"/ask",
+				AskRequest{Question: questions[i%len(questions)]})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status = %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+	resp, err := http.Get(ts.URL + "/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	turns := decode[[]TranscriptTurn](t, resp)
+	if len(turns) != 2*asks {
+		t.Fatalf("transcript has %d turns, want %d", len(turns), 2*asks)
+	}
+	for i, turn := range turns {
+		want := "user"
+		if i%2 == 1 {
+			want = "system"
+		}
+		if turn.Role != want {
+			t.Fatalf("turn %d role = %q, want %q", i, turn.Role, want)
+		}
+		if turn.Text == "" {
+			t.Fatalf("turn %d has empty text", i)
+		}
+	}
+}
+
+// TestConcurrentAskManySessions runs several sessions concurrently,
+// each asking a mixed question stream (hitting the singleflight
+// answer cache on shared questions), and checks every transcript is
+// internally consistent afterwards.
+func TestConcurrentAskManySessions(t *testing.T) {
+	ts := testServer(t)
+	const sessions = 6
+	const asksPer = 4
+	questions := []string{
+		"how many barometer",
+		"how many employment",
+		"how many employment where canton is Zurich",
+		"what data do you have about jobs",
+	}
+	ids := make([]string, sessions)
+	for i := range ids {
+		ids[i] = createSession(t, ts)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < asksPer; i++ {
+				resp := postJSON(t, ts.URL+"/sessions/"+ids[g]+"/ask",
+					AskRequest{Question: questions[(g+i)%len(questions)]})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("session %d status = %d", g, resp.StatusCode)
+				}
+				ans := decode[AskResponse](t, resp)
+				if ans.Text == "" {
+					t.Errorf("session %d got empty answer", g)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, id := range ids {
+		resp, err := http.Get(ts.URL + "/sessions/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		turns := decode[[]TranscriptTurn](t, resp)
+		if len(turns) != 2*asksPer {
+			t.Fatalf("session %d transcript has %d turns, want %d", g, len(turns), 2*asksPer)
+		}
+		for i := 0; i < len(turns); i += 2 {
+			if turns[i].Role != "user" || turns[i+1].Role != "system" {
+				t.Fatalf("session %d turns %d/%d roles = %q/%q", g, i, i+1, turns[i].Role, turns[i+1].Role)
+			}
+		}
+	}
+}

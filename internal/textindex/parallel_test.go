@@ -1,0 +1,80 @@
+package textindex
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+var parVocab = []string{
+	"revenue", "employment", "city", "district", "quarter", "growth",
+	"budget", "census", "traffic", "hospital", "school", "energy",
+	"climate", "housing", "salary", "population", "tax", "transport",
+	"tourism", "water",
+}
+
+// genCorpus indexes n synthetic documents drawn from a small
+// vocabulary so query terms hit many documents with varied tf/dl.
+func genCorpus(n int, seed int64) *Index {
+	rng := rand.New(rand.NewSource(seed))
+	ix := NewIndex()
+	for i := 0; i < n; i++ {
+		words := make([]string, 0, 30)
+		for w := 0; w < 5+rng.Intn(25); w++ {
+			words = append(words, parVocab[rng.Intn(len(parVocab))])
+		}
+		text := ""
+		for _, w := range words {
+			text += w + " "
+		}
+		ix.Add(Document{ID: fmt.Sprintf("doc-%d", i), Text: text})
+	}
+	return ix
+}
+
+// TestSearchParallelMatchesSerial is the BM25 determinism property:
+// chunked scoring must reproduce the serial hit list bit-for-bit —
+// same IDs, same float64 scores, same order — for any worker count.
+func TestSearchParallelMatchesSerial(t *testing.T) {
+	queries := []string{
+		"revenue growth by quarter",
+		"city hospital budget",
+		"population census district",
+		"energy climate water transport",
+		"salary", // single term
+		"nonexistent-term revenue",
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		ix := genCorpus(3000, seed)
+		for _, q := range queries {
+			want := ix.Search(q, 25)
+			for _, workers := range []int{2, 4, 8} {
+				got := ix.SearchParallel(q, 25, workers)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("seed=%d workers=%d %q: parallel hits diverge\n got %v\nwant %v",
+						seed, workers, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchParallelEdgeCases: empty index, empty query, stopword-only
+// query, and k<=0 behave exactly like Search.
+func TestSearchParallelEdgeCases(t *testing.T) {
+	empty := NewIndex()
+	if got := empty.SearchParallel("revenue", 5, 4); got != nil {
+		t.Fatalf("empty index: got %v, want nil", got)
+	}
+	ix := genCorpus(1200, 4)
+	if got := ix.SearchParallel("", 5, 4); got != nil {
+		t.Fatalf("empty query: got %v, want nil", got)
+	}
+	if got := ix.SearchParallel("the a of", 5, 4); got != nil {
+		t.Fatalf("stopword query: got %v, want nil", got)
+	}
+	if got := ix.SearchParallel("revenue", 0, 4); got != nil {
+		t.Fatalf("k=0: got %v, want nil", got)
+	}
+}

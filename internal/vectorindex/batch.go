@@ -1,0 +1,32 @@
+package vectorindex
+
+import "github.com/reliable-cda/cda/internal/parallel"
+
+// SearchBatch answers many queries concurrently against one index,
+// returning results in query order. Every Index implementation in
+// this package is safe for concurrent Search calls (reads plus an
+// atomic distance counter), so the batch fans out one goroutine chunk
+// per worker (0 = GOMAXPROCS). Results are exactly what sequential
+// Search calls would return: each query's answer is independent, and
+// each index's top-k is canonical (distance, then ID).
+//
+// Indexes whose Search already fans out internally (ParallelExact,
+// IVF with many candidates) should be batched with workers=1 or have
+// their own Workers knob lowered; nesting both multiplies goroutines.
+func SearchBatch(ix Index, queries []Vector, k, workers int) ([][]Neighbor, error) {
+	out := make([][]Neighbor, len(queries))
+	// Each query is a full index probe: always worth a goroutine, so
+	// the serial threshold is 1.
+	err := parallel.ForEach(len(queries), parallel.Options{Workers: workers, SerialThreshold: 1}, func(i int) error {
+		nn, err := ix.Search(queries[i], k)
+		if err != nil {
+			return err
+		}
+		out[i] = nn
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

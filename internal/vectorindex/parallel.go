@@ -2,7 +2,8 @@ package vectorindex
 
 import (
 	"runtime"
-	"sync"
+
+	"github.com/reliable-cda/cda/internal/parallel"
 )
 
 // ParallelExact is the brute-force scan fanned out across CPU cores:
@@ -45,36 +46,20 @@ func (p *ParallelExact) Search(q Vector, k int) ([]Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	workers := p.workers
-	if workers > len(p.data) {
-		workers = len(p.data)
-	}
-	shard := (len(p.data) + workers - 1) / workers
-	heaps := make([]*topK, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * shard
-		hi := lo + shard
-		if hi > len(p.data) {
-			hi = len(p.data)
+	heaps, err := parallel.MapChunks(len(p.data), parallel.Options{Workers: p.workers, SerialThreshold: 1}, func(lo, hi int) (*topK, error) {
+		h := newTopK(k)
+		for id := lo; id < hi; id++ {
+			h.push(Neighbor{ID: id, Dist: SquaredL2(q, p.data[id])})
 		}
-		heaps[w] = newTopK(k)
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			h := heaps[w]
-			for id := lo; id < hi; id++ {
-				h.push(Neighbor{ID: id, Dist: SquaredL2(q, p.data[id])})
-			}
-		}(w, lo, hi)
+		return h, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	p.add(int64(len(p.data)))
-	merged := newTopK(k)
-	for _, h := range heaps {
-		for _, n := range h.items {
-			merged.push(n)
-		}
+	merged := heaps[0]
+	for _, h := range heaps[1:] {
+		merged.merge(h)
 	}
 	return merged.sorted(), nil
 }

@@ -86,11 +86,25 @@ type distCounter struct{ n atomic.Int64 }
 func (c *distCounter) DistComps() int64 { return c.n.Load() }
 func (c *distCounter) add(k int64)      { c.n.Add(k) }
 
-// topK maintains the k smallest (dist, id) pairs seen so far using a
-// bounded max-heap laid out in a slice.
+// neighborLess is the canonical total order on candidates: ascending
+// distance, ties broken by ascending ID. Using it for every heap
+// comparison makes the kept top-k set a pure function of the
+// candidate multiset — independent of push order — which is what lets
+// the parallel probe paths merge per-shard heaps and provably
+// reproduce the serial result even when distances tie at the k-th
+// position.
+func neighborLess(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// topK maintains the k smallest neighbors under neighborLess seen so
+// far, using a bounded max-heap laid out in a slice.
 type topK struct {
 	k     int
-	items []Neighbor // max-heap by Dist
+	items []Neighbor // max-heap by neighborLess
 }
 
 func newTopK(k int) *topK { return &topK{k: k} }
@@ -101,7 +115,7 @@ func (t *topK) push(n Neighbor) {
 		t.up(len(t.items) - 1)
 		return
 	}
-	if n.Dist >= t.items[0].Dist {
+	if !neighborLess(n, t.items[0]) {
 		return
 	}
 	t.items[0] = n
@@ -119,7 +133,7 @@ func (t *topK) worst() float64 {
 func (t *topK) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if t.items[p].Dist >= t.items[i].Dist {
+		if !neighborLess(t.items[p], t.items[i]) {
 			break
 		}
 		t.items[p], t.items[i] = t.items[i], t.items[p]
@@ -132,10 +146,10 @@ func (t *topK) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		big := i
-		if l < n && t.items[l].Dist > t.items[big].Dist {
+		if l < n && neighborLess(t.items[big], t.items[l]) {
 			big = l
 		}
-		if r < n && t.items[r].Dist > t.items[big].Dist {
+		if r < n && neighborLess(t.items[big], t.items[r]) {
 			big = r
 		}
 		if big == i {
@@ -146,17 +160,20 @@ func (t *topK) down(i int) {
 	}
 }
 
-// sorted drains the heap into ascending-distance order with ties
-// broken by ID for determinism.
+// merge pushes every neighbor kept by o; because the heap order is
+// canonical, merging per-shard heaps yields exactly the heap a single
+// serial scan over the union would have kept.
+func (t *topK) merge(o *topK) {
+	for _, n := range o.items {
+		t.push(n)
+	}
+}
+
+// sorted drains the heap into neighborLess order.
 func (t *topK) sorted() []Neighbor {
 	out := make([]Neighbor, len(t.items))
 	copy(out, t.items)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
+	sort.Slice(out, func(i, j int) bool { return neighborLess(out[i], out[j]) })
 	return out
 }
 

@@ -1,0 +1,179 @@
+package cda
+
+// parallel_bench_test.go benchmarks the parallel execution layer
+// (internal/parallel and the operators built on it) against the
+// serial paths they replace. Every BenchmarkParallel* family runs the
+// same fixture at workers=1 (the exact serial code path) and at
+// several fan-out widths, so
+//
+//	go test -bench='^BenchmarkParallel' -cpu=4
+//
+// reads as a serial-vs-parallel table. The parallel paths are
+// deterministic by construction — byte-identical results at any
+// worker count — which the determinism property tests in
+// internal/sqldb, internal/vectorindex, internal/textindex, and
+// internal/core enforce; these benches measure only the speed side.
+// scripts/bench.sh snapshots the whole suite into BENCH_baseline.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/sqldb"
+	"github.com/reliable-cda/cda/internal/storage"
+	"github.com/reliable-cda/cda/internal/textindex"
+	"github.com/reliable-cda/cda/internal/vectorindex"
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// parallelBenchDB builds a fact table large enough to clear the
+// engine's serial-fallback threshold, plus a join dimension.
+func parallelBenchDB(rows, dims int) *storage.Database {
+	rng := rand.New(rand.NewSource(1))
+	db := storage.NewDatabase("parbench")
+	facts := storage.NewTable("facts", storage.Schema{
+		{Name: "k", Kind: storage.KindInt},
+		{Name: "v", Kind: storage.KindFloat},
+		{Name: "grp", Kind: storage.KindString},
+	})
+	for i := 0; i < rows; i++ {
+		facts.MustAppendRow(
+			storage.Int(int64(rng.Intn(dims))),
+			storage.Float(rng.Float64()*100),
+			storage.Str(fmt.Sprintf("g%d", rng.Intn(7))),
+		)
+	}
+	dim := storage.NewTable("dims", storage.Schema{
+		{Name: "k", Kind: storage.KindInt},
+		{Name: "label", Kind: storage.KindString},
+	})
+	for i := 0; i < dims; i++ {
+		dim.MustAppendRow(storage.Int(int64(i)), storage.Str(fmt.Sprintf("d%d", i%13)))
+	}
+	db.Put(facts)
+	db.Put(dim)
+	return db
+}
+
+func BenchmarkParallelSQLFilterScan(b *testing.B) {
+	db := parallelBenchDB(150000, 200)
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := sqldb.NewEngine(db)
+			e.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := e.Query("SELECT * FROM facts WHERE v > 75 AND grp = 'g3'")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("empty result; fixture broken")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelHashJoinProbe(b *testing.B) {
+	db := parallelBenchDB(120000, 300)
+	const q = "SELECT d.label, AVG(f.v) FROM facts f JOIN dims d ON f.k = d.k GROUP BY d.label ORDER BY d.label"
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := sqldb.NewEngine(db)
+			e.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := e.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.HashJoins != 1 {
+					b.Fatalf("expected a hash join, stats = %+v", res.Stats)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelIVFProbe(b *testing.B) {
+	p := workload.VectorParams{N: 20000, Queries: 64, Dim: 32, Clusters: 16, Spread: 1, Scale: 5, Seed: 1}
+	data, queries := workload.GenVectors(p)
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			idx, err := vectorindex.NewIVF(data, vectorindex.IVFParams{
+				Lists: 64, Probe: 16, KMeansIts: 5, Seed: 1, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.Search(queries[i%len(queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelBM25(b *testing.B) {
+	vocab := []string{
+		"revenue", "employment", "city", "district", "quarter", "growth",
+		"budget", "census", "traffic", "hospital", "school", "energy",
+	}
+	rng := rand.New(rand.NewSource(2))
+	ix := textindex.NewIndex()
+	for i := 0; i < 15000; i++ {
+		text := ""
+		for w := 0; w < 5+rng.Intn(20); w++ {
+			text += vocab[rng.Intn(len(vocab))] + " "
+		}
+		ix.Add(textindex.Document{ID: fmt.Sprintf("d%d", i), Text: text})
+	}
+	const q = "revenue growth by city district"
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if hits := ix.SearchParallel(q, 10, workers); len(hits) == 0 {
+					b.Fatal("no hits; fixture broken")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelRespondBatch(b *testing.B) {
+	base := []string{
+		"how many employment",
+		"how many employment where canton is Zurich",
+		"what is the average value where canton is Bern",
+		"how many barometer",
+		"list the canton of employment",
+		"how many employment where canton is Geneva",
+	}
+	var questions []string
+	for r := 0; r < 4; r++ {
+		questions = append(questions, base...)
+	}
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Fresh system per iteration: a warm answer cache would
+				// hide the pipeline work the fan-out is spreading.
+				b.StopTimer()
+				d := workload.NewSwissDomain(1)
+				sys := core.New(core.Config{
+					DB: d.DB, Catalog: d.Catalog, KG: d.KG, Vocab: d.Vocab,
+					Now: d.Now, Seed: 7,
+				})
+				b.StartTimer()
+				if _, err := sys.RespondBatch(questions, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and snapshot it as JSON.
+#
+# Runs the experiment benches (BenchmarkE*) and the serial-vs-parallel
+# suite (BenchmarkParallel*), parses the standard `go test -bench`
+# output, and writes one JSON array to BENCH_baseline.json:
+#
+#   [{"name": "BenchmarkParallelBM25/workers=4-8",
+#     "iterations": 100,
+#     "metrics": {"ns/op": 4932012}}, ...]
+#
+# BENCHTIME (default 1x) controls -benchtime; use e.g. BENCHTIME=2s
+# for stable numbers, 1x for a smoke snapshot. OUT overrides the
+# output path. The parallel families run the same fixture at
+# workers=1 (the exact serial path) and several widths, so the
+# baseline file doubles as the serial-vs-parallel comparison table.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_baseline.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> go test -bench='^(BenchmarkE|BenchmarkParallel)' -benchtime=$BENCHTIME"
+go test -run='^$' -bench='^(BenchmarkE|BenchmarkParallel)' -benchtime="$BENCHTIME" . | tee "$RAW"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    printf "%s{\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", sep, name, iters
+    msep = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        printf "%s\"%s\": %s", msep, $(i + 1), $i
+        msep = ", "
+    }
+    printf "}}"
+    sep = ",\n "
+}
+BEGIN { printf "[" }
+END   { print "]" }
+' "$RAW" > "$OUT"
+
+echo "bench.sh: wrote $(grep -c '"name"' "$OUT") benchmark entries to $OUT"

@@ -7,7 +7,13 @@
 #   3. cdalint       — the repo's own reliability analyzers
 #                      (dropped-error, nondeterminism, unannotated-answer,
 #                       mutex-hygiene, map-order-leak, bare-panic)
-#   4. go test -race — full test suite under the race detector
+#   4. determinism   — the serial-vs-parallel equality property tests,
+#                      run under -race (parallel operators must return
+#                      byte-identical results AND be race-clean)
+#   5. go test -race — full test suite under the race detector
+#   6. bench smoke   — one iteration of every BenchmarkParallel* so a
+#                      broken benchmark fixture fails the gate, not
+#                      the next perf investigation
 #
 # Any non-zero exit fails the gate. See README "Static analysis &
 # reliability invariants" for what each cdalint rule enforces.
@@ -24,7 +30,15 @@ go build ./...
 echo "==> cdalint ./..."
 go run ./cmd/cdalint ./...
 
+echo "==> determinism property tests (-race)"
+go test -race \
+  -run 'TestParallelExecution|TestIVFParallelProbe|TestTopKCanonicalUnderTies|TestSearchBatch|TestSearchParallel|TestDenseSearchParallel|TestHybridSearch|TestRespondBatch' \
+  ./internal/sqldb ./internal/vectorindex ./internal/textindex ./internal/embed ./internal/core
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> parallel benchmark smoke (1 iteration)"
+go test -run='^$' -bench='^BenchmarkParallel' -benchtime=1x .
 
 echo "check.sh: all gates passed"
