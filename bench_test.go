@@ -12,6 +12,7 @@ package cda
 // output, not just in cdabench tables.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -283,7 +284,7 @@ func BenchmarkAblationAnswerCache(b *testing.B) {
 				// constant-size; the answer cache lives on the System
 				// and persists across sessions.
 				sess := sys.NewSession()
-				if _, err := sys.Respond(sess, questions[i%len(questions)]); err != nil {
+				if _, err := sys.Respond(context.Background(), sess, questions[i%len(questions)]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -410,7 +411,7 @@ func BenchmarkCoreRespondEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sess := sys.NewSession()
 		for _, t := range turns {
-			if _, err := sys.Respond(sess, t); err != nil {
+			if _, err := sys.Respond(context.Background(), sess, t); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -56,7 +57,7 @@ func main() {
 		if line == "quit" || line == "exit" {
 			break
 		}
-		ans, err := sys.Respond(sess, line)
+		ans, err := sys.Respond(context.Background(), sess, line)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			continue

@@ -14,13 +14,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/reliable-cda/cda/internal/catalog"
 	"github.com/reliable-cda/cda/internal/core"
@@ -70,6 +75,39 @@ func main() {
 	cfg.HallucinationRate = *noise
 
 	srv := server.New(core.New(cfg), cat, now)
-	fmt.Printf("cdaserver listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Bounded I/O: a stalled client cannot pin a connection (and
+		// its session lock) forever.
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("cdaserver listening on %s\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		// Graceful drain: stop accepting, let in-flight asks finish,
+		// and force-close whatever is still running at the deadline.
+		log.Printf("cdaserver: %s received, draining connections", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("cdaserver: shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("cdaserver: serve: %v", err)
+		}
+	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -51,7 +52,7 @@ func main() {
 	d := workload.NewSwissDomain(7)
 	sys := core.New(core.Config{DB: d.DB, Catalog: d.Catalog, KG: d.KG, Vocab: d.Vocab, Documents: d.Documents, Now: d.Now, Seed: 7})
 	sess := sys.NewSession()
-	ans, err := sys.Respond(sess, "Give me an overview of the working force in Switzerland")
+	ans, err := sys.Respond(context.Background(), sess, "Give me an overview of the working force in Switzerland")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -54,7 +55,7 @@ func main() {
 		"how many towns where country is Switzerland",
 		"what is the total people in towns",
 	} {
-		ans, err := sys.Respond(sess, q)
+		ans, err := sys.Respond(context.Background(), sess, q)
 		if err != nil {
 			log.Fatal(err)
 		}

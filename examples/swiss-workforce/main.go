@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -25,7 +26,7 @@ func main() {
 
 	for i, turn := range workload.Figure1Turns() {
 		fmt.Printf("User: %s\n", turn)
-		ans, err := sys.Respond(sess, turn)
+		ans, err := sys.Respond(context.Background(), sess, turn)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -81,6 +81,7 @@ func Analyzers() []*Analyzer {
 		MutexHygiene,
 		MapOrderLeak,
 		BarePanic,
+		RawSleep,
 	}
 }
 
@@ -141,4 +142,5 @@ const (
 	ruleMutexHygiene      = "mutex-hygiene"
 	ruleMapOrderLeak      = "map-order-leak"
 	ruleBarePanic         = "bare-panic"
+	ruleRawSleep          = "raw-sleep"
 )

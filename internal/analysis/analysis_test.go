@@ -67,6 +67,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"mutex-hygiene", "mutex"},
 		{"map-order-leak", "maporder"},
 		{"bare-panic", "barepanic"},
+		{"raw-sleep", "rawsleep"},
 	}
 	loader := newTestLoader(t)
 	for _, tc := range cases {
@@ -110,6 +111,7 @@ func TestSuppressedSitesAreCounted(t *testing.T) {
 		"mutex-hygiene":      "mutex",
 		"map-order-leak":     "maporder",
 		"bare-panic":         "barepanic",
+		"raw-sleep":          "rawsleep",
 	}
 	loader := newTestLoader(t)
 	for rule, dir := range cases {

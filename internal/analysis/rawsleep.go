@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// RawSleep flags direct time.Sleep calls outside _test.go files. A
+// raw sleep is uncancellable (it ignores context cancellation, so a
+// caller's deadline cannot interrupt it) and unvirtualizable (chaos
+// replays and benchmarks cannot compress it), which breaks both
+// halves of the resilience contract: prompt cancellation and
+// deterministic fault replay. Production code must sleep through
+// resilience.Clock — WallClock parks on a timer racing ctx.Done(),
+// and VirtualClock makes the wait instant and reproducible.
+var RawSleep = &Analyzer{
+	Name:     ruleRawSleep,
+	Doc:      "time.Sleep outside _test.go files; sleep via resilience.Clock so waits are cancellable and virtualizable",
+	Severity: SeverityError,
+	Run:      runRawSleep,
+}
+
+func runRawSleep(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		fname := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filepath.Base(fname), "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(p, call); fn != nil && fn.FullName() == "time.Sleep" {
+				out = append(out, Finding{
+					Rule: ruleRawSleep, Severity: SeverityError,
+					Pos:     p.Fset.Position(call.Pos()),
+					Message: "time.Sleep cannot be cancelled or virtualized; use resilience.Clock.Sleep(ctx, d) instead",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

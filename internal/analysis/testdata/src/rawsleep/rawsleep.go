@@ -1,0 +1,35 @@
+// Package fixture is deliberately broken test input for the
+// raw-sleep analyzer.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+type clock interface {
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+func bad() {
+	time.Sleep(10 * time.Millisecond) // uncancellable, unvirtualizable
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Duration(i) * time.Millisecond)
+	}
+}
+
+func good(ctx context.Context, c clock) error {
+	// Sleeping through the injectable clock keeps the wait
+	// cancellable and lets a virtual clock replay it instantly.
+	return c.Sleep(ctx, 10*time.Millisecond)
+}
+
+func alsoGood(d time.Duration) <-chan time.Time {
+	// Timer-based waits that can race ctx.Done() are the sanctioned
+	// production pattern; only the blocking helper is banned.
+	return time.NewTimer(d).C
+}
+
+func suppressed() {
+	time.Sleep(time.Millisecond) // cdalint:ignore raw-sleep -- fixture demonstrates suppression
+}

@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/faults"
+)
+
+// sweepRates are the fault-rate settings the property tests sweep;
+// the check gate runs this file under -race at every setting.
+var sweepRates = []float64{0.05, 0.2, 0.5}
+
+func mustSwiss(t *testing.T, sc Scenario) *Result {
+	t.Helper()
+	res, err := ReplaySwiss(sc)
+	if err != nil {
+		t.Fatalf("ReplaySwiss(%+v): %v", sc, err)
+	}
+	return res
+}
+
+func mustNL2SQL(t *testing.T, sc Scenario, n int) *Result {
+	t.Helper()
+	res, err := ReplayNL2SQL(sc, n)
+	if err != nil {
+		t.Fatalf("ReplayNL2SQL(%+v): %v", sc, err)
+	}
+	return res
+}
+
+func scenario(seed int64, rate float64) Scenario {
+	return Scenario{
+		Seed:         seed,
+		Rates:        faults.Rates{Error: rate, Latency: rate / 2, Corrupt: rate / 2},
+		FaultStorage: true,
+	}
+}
+
+// checkDegradation asserts the ladder's contract against a fault-free
+// baseline of the same seed: every degraded answer is stamped, not
+// abstained, capped below every verified answer's confidence, and
+// strictly below its own fault-free twin when that twin answered.
+func checkDegradation(t *testing.T, label string, base, faulted *Result) {
+	t.Helper()
+	for i, a := range faulted.Answers {
+		if a.Degraded == "" {
+			continue
+		}
+		if a.Abstained {
+			t.Errorf("%s turn %d: degraded answer must not abstain", label, i)
+		}
+		if a.Confidence > 0.45 {
+			t.Errorf("%s turn %d: degraded confidence %.3f above the ladder cap", label, i, a.Confidence)
+		}
+		if !strings.Contains(a.Text, "verified answer") {
+			t.Errorf("%s turn %d: degraded answer does not say why: %q", label, i, a.Text)
+		}
+		twin := base.Answers[i]
+		if twin.Degraded == "" && !twin.Abstained && a.Confidence >= twin.Confidence {
+			t.Errorf("%s turn %d: degraded confidence %.3f not below fault-free %.3f",
+				label, i, a.Confidence, twin.Confidence)
+		}
+	}
+}
+
+// TestSwissSweep replays the extended Figure 1 dialogue at every
+// fault-rate setting: no errors, byte-identical transcripts for the
+// same seed, and every degraded answer carries lowered confidence.
+func TestSwissSweep(t *testing.T) {
+	base := mustSwiss(t, Scenario{Seed: 7})
+	for i, a := range base.Answers {
+		if a.Degraded != "" {
+			t.Fatalf("fault-free turn %d unexpectedly degraded (%s)", i, a.Degraded)
+		}
+	}
+	for _, rate := range sweepRates {
+		sc := scenario(7, rate)
+		r1 := mustSwiss(t, sc)
+		r2 := mustSwiss(t, sc)
+		if r1.Transcript != r2.Transcript {
+			t.Fatalf("rate %.2f: same seed produced different transcripts:\n%s\n=== vs ===\n%s",
+				rate, r1.Transcript, r2.Transcript)
+		}
+		checkDegradation(t, "swiss", base, r1)
+	}
+}
+
+// TestSwissSeedSensitivity: different seeds draw different faults —
+// the injector is live, not a no-op (at 50% error the transcripts of
+// two seeds diverging is the expected case; identical transcripts
+// would suggest the chaos seam is disconnected).
+func TestSwissSeedSensitivity(t *testing.T) {
+	r7 := mustSwiss(t, scenario(7, 0.5))
+	r8 := mustSwiss(t, scenario(8, 0.5))
+	if r7.Transcript == r8.Transcript {
+		t.Fatal("seeds 7 and 8 produced identical transcripts at 50% fault rate; injector appears dead")
+	}
+	var injected int64
+	for _, c := range r7.Faults {
+		injected += c.Errors + c.Latencies + c.Corrupted
+	}
+	if injected == 0 {
+		t.Fatal("no faults injected at 50% rate")
+	}
+}
+
+// TestNL2SQLSweep runs the synthetic NL2SQL workload — the catalog
+// tier is empty there, so the ladder bottoms out in the no-pointer
+// answer — under the same sweep.
+func TestNL2SQLSweep(t *testing.T) {
+	const n = 12
+	base := mustNL2SQL(t, Scenario{Seed: 11}, n)
+	for _, rate := range sweepRates {
+		sc := scenario(11, rate)
+		r1 := mustNL2SQL(t, sc, n)
+		r2 := mustNL2SQL(t, sc, n)
+		if r1.Transcript != r2.Transcript {
+			t.Fatalf("rate %.2f: same seed produced different NL2SQL transcripts", rate)
+		}
+		checkDegradation(t, "nl2sql", base, r1)
+	}
+}
+
+// TestTotalOutage: with every backend failing 100% of the time the
+// system still answers every turn — query turns bottom out at the
+// catalog tier of the ladder, and nothing panics or errors.
+func TestTotalOutage(t *testing.T) {
+	res := mustSwiss(t, Scenario{Seed: 3, Rates: faults.Rates{Error: 1}, FaultStorage: true})
+	degraded := 0
+	for i, a := range res.Answers {
+		if a == nil {
+			t.Fatalf("turn %d: nil answer", i)
+		}
+		if a.Degraded != "" {
+			degraded++
+			if a.Degraded != core.DegradedCatalog {
+				t.Errorf("turn %d: expected catalog tier under total outage, got %q", i, a.Degraded)
+			}
+			if a.Confidence > 0.25 {
+				t.Errorf("turn %d: catalog-tier confidence %.3f above cap", i, a.Confidence)
+			}
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("total outage produced no degraded answers; ladder never engaged")
+	}
+}
+
+// TestDegradedProvenanceCited: a degraded answer that offers pointers
+// still carries a provenance graph citing them — even outage answers
+// stay traceable.
+func TestDegradedProvenanceCited(t *testing.T) {
+	res := mustSwiss(t, Scenario{Seed: 3, Rates: faults.Rates{Error: 1}, FaultStorage: true})
+	for i, a := range res.Answers {
+		if a.Degraded == "" || !strings.Contains(a.Text, "\n- ") {
+			continue
+		}
+		if a.Provenance == nil || a.AnswerNode == "" {
+			t.Errorf("turn %d: degraded answer with pointers lacks provenance", i)
+		}
+	}
+}
+
+// TestBreakerTripsUnderSustainedFailure: a 100% error rate must trip
+// at least one circuit during the replay — fail-fast is part of the
+// determinism contract (open circuits skip injector draws, and the
+// transcript stays reproducible regardless).
+func TestBreakerTripsUnderSustainedFailure(t *testing.T) {
+	res := mustSwiss(t, Scenario{Seed: 5, Rates: faults.Rates{Error: 1}, FaultStorage: true})
+	if len(res.Breakers) == 0 {
+		t.Fatal("no breakers registered during replay")
+	}
+	open := 0
+	for _, st := range res.Breakers {
+		if st.String() != "closed" {
+			open++
+		}
+	}
+	if open == 0 {
+		t.Fatalf("no breaker left closed state under sustained failure: %v", res.Breakers)
+	}
+}

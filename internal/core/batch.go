@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"hash/fnv"
 	"math/rand"
 
@@ -16,14 +17,16 @@ import (
 // worker count, batch order, and of which concurrent caller wins a
 // singleflight race in the answer cache. Duplicate questions in one
 // batch therefore produce identical answers. The first error (by
-// question index) aborts the batch.
-func (s *System) RespondBatch(questions []string, workers int) ([]*Answer, error) {
+// question index) aborts the batch. Cancelling ctx aborts the batch
+// with ctx.Err(); in-flight questions observe the cancellation at
+// their next context check.
+func (s *System) RespondBatch(ctx context.Context, questions []string, workers int) ([]*Answer, error) {
 	answers := make([]*Answer, len(questions))
 	o := parallel.Options{Workers: workers, SerialThreshold: 1}
 	err := parallel.ForEach(len(questions), o, func(i int) error {
 		sess := s.NewSession()
 		rng := rand.New(rand.NewSource(s.cfg.Seed ^ hashString(questions[i])))
-		ans, err := s.respond(sess, questions[i], rng)
+		ans, err := s.respond(ctx, sess, questions[i], rng)
 		if err != nil {
 			return err
 		}

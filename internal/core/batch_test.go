@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -21,7 +22,7 @@ var batchQuestions = []string{
 func TestRespondBatchDeterministic(t *testing.T) {
 	run := func(workers int) []string {
 		s := swissSystem(t, nil)
-		answers, err := s.RespondBatch(batchQuestions, workers)
+		answers, err := s.RespondBatch(context.Background(), batchQuestions, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -49,7 +50,7 @@ func TestRespondBatchDeterministic(t *testing.T) {
 // not change what the pipeline computes.
 func TestRespondBatchAnswersAreCorrect(t *testing.T) {
 	s := swissSystem(t, nil)
-	answers, err := s.RespondBatch(batchQuestions, 4)
+	answers, err := s.RespondBatch(context.Background(), batchQuestions, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestRespondBatchAnswersAreCorrect(t *testing.T) {
 // a third full pipeline run.
 func TestRespondBatchUsesCache(t *testing.T) {
 	s := swissSystem(t, nil)
-	if _, err := s.RespondBatch(batchQuestions, 4); err != nil {
+	if _, err := s.RespondBatch(context.Background(), batchQuestions, 4); err != nil {
 		t.Fatal(err)
 	}
 	hits, _ := s.cache.Stats()
@@ -91,7 +92,7 @@ func TestConcurrentRespondAcrossSessions(t *testing.T) {
 			sess := s.NewSession()
 			for i := 0; i < 4; i++ {
 				q := batchQuestions[(g+i)%len(batchQuestions)]
-				ans, err := s.Respond(sess, q)
+				ans, err := s.Respond(context.Background(), sess, q)
 				if err != nil {
 					t.Errorf("Respond(%q): %v", q, err)
 					return

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"github.com/reliable-cda/cda/internal/catalog"
 	"github.com/reliable-cda/cda/internal/dialogue"
 	"github.com/reliable-cda/cda/internal/docqa"
+	"github.com/reliable-cda/cda/internal/embed"
 	"github.com/reliable-cda/cda/internal/explain"
 	"github.com/reliable-cda/cda/internal/ground"
 	"github.com/reliable-cda/cda/internal/guidance"
@@ -35,8 +37,10 @@ import (
 	"github.com/reliable-cda/cda/internal/nlmodel"
 	"github.com/reliable-cda/cda/internal/optimizer"
 	"github.com/reliable-cda/cda/internal/provenance"
+	"github.com/reliable-cda/cda/internal/resilience"
 	"github.com/reliable-cda/cda/internal/sqldb"
 	"github.com/reliable-cda/cda/internal/storage"
+	"github.com/reliable-cda/cda/internal/textindex"
 	"github.com/reliable-cda/cda/internal/uncertainty"
 )
 
@@ -76,6 +80,25 @@ type Config struct {
 	// CacheSize bounds the holistic optimizer's answer cache
 	// (default 256).
 	CacheSize int
+	// Clock is the time source for resilience backoff and injected
+	// latency (default: the wall clock). Chaos tests pass a
+	// resilience.VirtualClock so fault sweeps are instant and
+	// deterministic.
+	Clock resilience.Clock
+	// Resilience tunes retry and circuit-breaker behavior for the
+	// backend executor (zero value = library defaults).
+	Resilience resilience.Options
+	// Faults, when non-nil, is the deterministic chaos injector
+	// attached to every backend the system constructs (see
+	// internal/faults). Leave nil in production.
+	Faults FaultInjector
+}
+
+// FaultInjector is the chaos seam the system threads through to its
+// backends; *faults.Injector implements it.
+type FaultInjector interface {
+	Inject(op string) error
+	CorruptTokens(op string, toks []string) []string
 }
 
 // Answer is the annotated system response (layer ⓔ of Figure 1).
@@ -94,6 +117,14 @@ type Answer struct {
 	// Evidence exposes the soundness signals for calibration
 	// experiments.
 	Evidence uncertainty.Evidence
+	// Degraded names the fallback tier that produced this answer when
+	// the verified pipeline was unavailable ("vector", "text", or
+	// "catalog"); empty for answers from the full pipeline. Degraded
+	// answers always report a confidence below any verified answer's
+	// and are exempt from the abstention policy — stating a low-
+	// confidence pointer with an explicit caveat beats refusing
+	// outright during an outage (P4 Soundness under partial failure).
+	Degraded string
 }
 
 // System is the reliable CDA system.
@@ -108,8 +139,18 @@ type System struct {
 	rawConf    nlmodel.RawConfidence
 	cache      *optimizer.Cache[*Answer]
 	docs       *docqa.Store
-	rngMu      sync.Mutex // guards rng (rand.Rand is not goroutine-safe)
-	rng        *rand.Rand
+	exec       *resilience.Executor
+	// fallbackDense and fallbackText are the degradation ladder's
+	// retrieval tiers: catalog descriptions and document snippets in
+	// a dense index (tier 1) and a BM25 index (tier 2), consulted
+	// only when the verified pipeline is unavailable.
+	fallbackDense *embed.DenseIndex
+	fallbackText  *textindex.Index
+	// fallbackLabels maps a fallback-index hit ID to the human label
+	// rendered in degraded answers.
+	fallbackLabels map[string]string
+	rngMu          sync.Mutex // guards rng (rand.Rand is not goroutine-safe)
+	rng            *rand.Rand
 }
 
 // New builds a System from the config.
@@ -131,6 +172,11 @@ func New(cfg Config) *System {
 		cache:    optimizer.NewCache[*Answer](cfg.CacheSize),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = resilience.NewWallClock()
+		s.cfg.Clock = cfg.Clock
+	}
+	s.exec = resilience.NewExecutor(cfg.Resilience, cfg.Clock, cfg.Seed)
 	if !cfg.DisableGrounding {
 		s.grounder = ground.NewGrounder(cfg.KG, cfg.DB, cfg.Vocab)
 	}
@@ -153,9 +199,57 @@ func New(cfg Config) *System {
 			s.docs.Add(d)
 		}
 	}
+	s.buildFallbackIndexes()
+	if cfg.Faults != nil {
+		// Thread the chaos seam through every backend this system
+		// constructed. The caller's DB and catalog are shared objects;
+		// the harness decides whether to fault those.
+		if s.engine != nil {
+			s.engine.Faults = cfg.Faults
+		}
+		if s.translator != nil {
+			s.translator.Faults = cfg.Faults
+		}
+		if s.fallbackDense != nil {
+			s.fallbackDense.Faults = cfg.Faults
+		}
+		if s.fallbackText != nil {
+			s.fallbackText.Faults = cfg.Faults
+		}
+	}
 	s.guide = guidance.NewGraph()
 	seedGuidance(s.guide)
 	return s
+}
+
+// buildFallbackIndexes snapshots the catalog descriptions and document
+// snippets into the degradation ladder's retrieval tiers. The indexes
+// are tiny (one entry per dataset/document) and built eagerly so a
+// backend outage cannot also take down the fallback path.
+func (s *System) buildFallbackIndexes() {
+	s.fallbackDense = embed.NewDenseIndex(nil)
+	s.fallbackText = textindex.NewIndex()
+	s.fallbackLabels = map[string]string{}
+	if s.cfg.Catalog != nil {
+		for _, d := range s.cfg.Catalog.List() {
+			text := d.Name + " " + d.Description
+			s.fallbackDense.Add(embed.Item{ID: d.ID, Text: text})
+			s.fallbackText.Add(textindex.Document{ID: d.ID, Text: text})
+			s.fallbackLabels[d.ID] = d.Name + " — " + firstSentence(d.Description)
+		}
+	}
+	for _, d := range s.cfg.Documents {
+		s.fallbackDense.Add(embed.Item{ID: d.ID, Text: d.Text})
+		s.fallbackText.Add(textindex.Document{ID: d.ID, Text: d.Text})
+		s.fallbackLabels[d.ID] = "document " + d.ID + " — " + firstSentence(d.Text)
+	}
+}
+
+// BreakerStates exposes the executor's per-backend circuit-breaker
+// states for observability (the chaos harness and the server's
+// health endpoint read it).
+func (s *System) BreakerStates() map[string]resilience.BreakerState {
+	return s.exec.BreakerStates()
 }
 
 // seedGuidance pre-trains the interaction graph with the canonical
@@ -187,17 +281,30 @@ func (s *System) CacheHitRate() float64 { return s.cache.HitRate() }
 
 // Respond handles one user turn: classify intent, dispatch, annotate.
 // It is safe for concurrent use across sessions (callers must still
-// serialize turns within one session).
-func (s *System) Respond(sess *dialogue.Session, userText string) (*Answer, error) {
-	return s.respond(sess, userText, nil)
+// serialize turns within one session). The context bounds the turn:
+// when ctx is cancelled or its deadline passes, Respond returns
+// ctx.Err() promptly and commits nothing to the session transcript —
+// a cancelled turn leaves no partial user/system pair behind.
+func (s *System) Respond(ctx context.Context, sess *dialogue.Session, userText string) (*Answer, error) {
+	return s.respond(ctx, sess, userText, nil)
 }
 
 // respond is the dispatch behind Respond. rng is the model-confidence
 // stream for this turn: nil draws from the system's seeded stream
 // (serialized by rngMu); batch callers pass a per-question stream so
 // answers do not depend on turn interleaving.
-func (s *System) respond(sess *dialogue.Session, userText string, rng *rand.Rand) (*Answer, error) {
-	intent := sess.AddUserTurn(userText)
+//
+// The turn is transactional with respect to the transcript: intent is
+// classified without mutating the session, the handler runs, and only
+// a turn that produced a final answer is committed as a user/system
+// pair. Handlers may still update conversational state (offers,
+// focus, memo) before a cancellation lands — that state is advisory
+// and safe to keep — but the transcript never gains half a turn.
+func (s *System) respond(ctx context.Context, sess *dialogue.Session, userText string, rng *rand.Rand) (*Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	intent := sess.ClassifyTurn(userText)
 	var (
 		ans *Answer
 		err error
@@ -212,7 +319,7 @@ func (s *System) respond(sess *dialogue.Session, userText string, rng *rand.Rand
 	case dialogue.IntentAnalyze:
 		ans, err = s.analyze(sess, userText, rng)
 	case dialogue.IntentQuery, dialogue.IntentFollowUp:
-		ans, err = s.query(sess, userText, rng)
+		ans, err = s.query(ctx, sess, userText, rng)
 	case dialogue.IntentConfirm:
 		ans = s.confirm(sess, userText)
 	default:
@@ -221,8 +328,11 @@ func (s *System) respond(sess *dialogue.Session, userText string, rng *rand.Rand
 	if err != nil {
 		return nil, err
 	}
-	s.attachSuggestions(sess, intent, ans)
-	sess.AddSystemTurn(ans.Text, ans.Confidence)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.attachSuggestions(sess, intent, userText, ans)
+	sess.CommitTurn(userText, intent, ans.Text, ans.Confidence)
 	return ans, nil
 }
 
@@ -237,7 +347,7 @@ func (s *System) modelScore(rng *rand.Rand) float64 {
 	return s.rawConf.Score(s.rng)
 }
 
-func (s *System) attachSuggestions(sess *dialogue.Session, intent dialogue.Intent, ans *Answer) {
+func (s *System) attachSuggestions(sess *dialogue.Session, intent dialogue.Intent, userText string, ans *Answer) {
 	if s.cfg.DisableGuidance || ans == nil {
 		return
 	}
@@ -257,13 +367,16 @@ func (s *System) attachSuggestions(sess *dialogue.Session, intent dialogue.Inten
 		act = guidance.ActStart
 	}
 	steps := s.guide.NextSteps(act, 2)
-	// Adapt suggestion verbosity to inferred expertise.
+	// Adapt suggestion verbosity to inferred expertise. The current
+	// turn is not yet committed to the transcript (CommitTurn runs
+	// after suggestions are attached), so it is profiled explicitly.
 	var userTurns []string
 	for _, t := range sess.Turns {
 		if t.Role == dialogue.RoleUser {
 			userTurns = append(userTurns, t.Text)
 		}
 	}
+	userTurns = append(userTurns, userText)
 	level := guidance.ProfileExpertise(userTurns)
 	if level == guidance.Expert && len(steps) > 1 {
 		steps = steps[:1]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func swissSystem(t testing.TB, mutate func(*Config)) *System {
 
 func respond(t *testing.T, s *System, sess *dialogue.Session, text string) *Answer {
 	t.Helper()
-	ans, err := s.Respond(sess, text)
+	ans, err := s.Respond(context.Background(), sess, text)
 	if err != nil {
 		t.Fatalf("Respond(%q): %v", text, err)
 	}
@@ -196,7 +197,7 @@ func TestGuidanceSuggestionsPresent(t *testing.T) {
 	}
 	s2 := swissSystem(t, func(c *Config) { c.DisableGuidance = true })
 	sess2 := s2.NewSession()
-	ans2, err := s2.Respond(sess2, "give me an overview of employment data")
+	ans2, err := s2.Respond(context.Background(), sess2, "give me an overview of employment data")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestDeterministicResponses(t *testing.T) {
 		sess := s.NewSession()
 		var sb strings.Builder
 		for _, turn := range workload.Figure1Turns() {
-			ans, err := s.Respond(sess, turn)
+			ans, err := s.Respond(context.Background(), sess, turn)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/nl2sql"
+	"github.com/reliable-cda/cda/internal/provenance"
+	"github.com/reliable-cda/cda/internal/resilience"
+	"github.com/reliable-cda/cda/internal/uncertainty"
+)
+
+// Degraded-answer confidence caps. The ladder reports strictly less
+// confidence the further it falls: a dense-retrieval pointer beats a
+// lexical one beats a bare catalog listing, and all of them sit below
+// any verified answer (verified answers that clear the abstention
+// policy are at or above the 0.5 default threshold).
+const (
+	degradedVectorConfidence  = 0.45
+	degradedTextConfidence    = 0.35
+	degradedCatalogConfidence = 0.25
+)
+
+// Degradation-tier names stamped into Answer.Degraded.
+const (
+	DegradedVector  = "vector"
+	DegradedText    = "text"
+	DegradedCatalog = "catalog"
+)
+
+// translate runs the NL2SQL pipeline behind the resilience executor:
+// transient backend faults are retried with backoff, repeated failures
+// trip the "nl2sql" circuit breaker, and an open circuit fails fast.
+// Application-level failures (an unparseable question) carry no
+// infrastructure signal — they bypass retry and leave the breaker
+// untouched, so a user typing unmappable questions cannot trip it.
+func (s *System) translate(ctx context.Context, text string, prev *nl2sql.Frame) (*nl2sql.Translation, *nl2sql.Frame, error) {
+	var (
+		tr      *nl2sql.Translation
+		frame   *nl2sql.Frame
+		permErr error
+	)
+	err := s.exec.Do(ctx, "nl2sql", func() error {
+		t, f, err := s.translator.TranslateWithContext(text, prev)
+		if err != nil && !resilience.IsTransient(err) &&
+			!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			permErr = err
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		tr, frame, permErr = t, f, nil
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if permErr != nil {
+		return nil, nil, permErr
+	}
+	return tr, frame, nil
+}
+
+// infrastructureFailure reports whether err is a backend outage the
+// degradation ladder should absorb (retries exhausted on a transient
+// fault, or an open circuit) rather than a user-facing condition.
+func infrastructureFailure(err error) bool {
+	return resilience.IsTransient(err) || errors.Is(err, resilience.ErrOpen)
+}
+
+// degrade walks the graceful-degradation ladder after the verified
+// pipeline failed unrecoverably: dense retrieval over the fallback
+// snapshot (tier "vector"), then lexical BM25 (tier "text"), then a
+// bare catalog listing (tier "catalog"). Each tier reports strictly
+// less confidence, every answer is stamped Degraded and says why, and
+// none of them pretends to be a verified result. Context errors
+// propagate — a cancelled request is not an outage.
+func (s *System) degrade(ctx context.Context, text string, cause error) (*Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	preamble := "I cannot compute a verified answer right now (" + degradeReason(cause) + ")."
+
+	// Tier 1: dense retrieval over the catalog/document snapshot.
+	var denseIDs []string
+	derr := s.exec.Do(ctx, "embed", func() error {
+		hits, err := s.fallbackDense.TrySearch(text, 3)
+		if err != nil {
+			return err
+		}
+		denseIDs = denseIDs[:0]
+		for _, h := range hits {
+			if h.Score > 0 {
+				denseIDs = append(denseIDs, h.ID)
+			}
+		}
+		return nil
+	})
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	if derr == nil && len(denseIDs) > 0 {
+		return s.degradedAnswer(DegradedVector, degradedVectorConfidence, text, preamble,
+			"semantically closest grounded sources", denseIDs), nil
+	}
+
+	// Tier 2: lexical BM25 over the same snapshot.
+	var textIDs []string
+	terr := s.exec.Do(ctx, "textindex", func() error {
+		hits, err := s.fallbackText.TrySearch(text, 3)
+		if err != nil {
+			return err
+		}
+		textIDs = textIDs[:0]
+		for _, h := range hits {
+			textIDs = append(textIDs, h.ID)
+		}
+		return nil
+	})
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	if terr == nil && len(textIDs) > 0 {
+		return s.degradedAnswer(DegradedText, degradedTextConfidence, text, preamble,
+			"keyword-matching grounded sources", textIDs), nil
+	}
+
+	// Tier 3: the catalog listing needs no backend at all.
+	var ids []string
+	if s.cfg.Catalog != nil {
+		for _, d := range s.cfg.Catalog.List() {
+			ids = append(ids, d.ID)
+			if len(ids) == 3 {
+				break
+			}
+		}
+	}
+	return s.degradedAnswer(DegradedCatalog, degradedCatalogConfidence, text, preamble,
+		"datasets the catalog lists", ids), nil
+}
+
+// degradeReason renders the outage cause without leaking internals.
+func degradeReason(cause error) string {
+	if errors.Is(cause, resilience.ErrOpen) {
+		return "a backend is cooling down after repeated failures"
+	}
+	return "a backend is temporarily unavailable"
+}
+
+// degradedAnswer assembles one ladder answer: capped confidence, the
+// Degraded stamp, unverifiable evidence, and provenance citing the
+// fallback sources so even an outage answer stays traceable.
+func (s *System) degradedAnswer(tier string, confidence float64, question, preamble, what string, ids []string) *Answer {
+	ans := &Answer{Degraded: tier, Confidence: confidence}
+	ans.Evidence = uncertainty.Evidence{Unverifiable: true}
+	var sb strings.Builder
+	sb.WriteString(preamble)
+	if len(ids) == 0 {
+		sb.WriteString(" I have no grounded pointers to offer; please retry shortly.")
+		ans.Text = sb.String()
+		return ans
+	}
+	fmt.Fprintf(&sb, " The %s are:", what)
+	g := provenance.NewGraph()
+	ansNode := g.AddNode(provenance.Node{Kind: provenance.KindAnswer,
+		Label: "degraded (" + tier + ") pointer for: " + text60(question)})
+	q := g.AddNode(provenance.Node{Kind: provenance.KindQuery, Label: "fallback " + tier + " search"})
+	for _, id := range ids {
+		label := s.fallbackLabels[id]
+		if label == "" {
+			label = id
+		}
+		sb.WriteString("\n- " + label)
+		src := g.AddNode(provenance.Node{ID: "source:" + id, Kind: provenance.KindSource, Label: id,
+			Meta: map[string]string{"dataset": id}})
+		// cdalint:ignore dropped-error -- nodes were just created in
+		// this graph, DerivedFrom cannot fail on them.
+		g.DerivedFrom(q, src)
+	}
+	// cdalint:ignore dropped-error -- same: both nodes exist.
+	g.DerivedFrom(ansNode, q)
+	fmt.Fprintf(&sb, "\n(Degraded answer — confidence capped at %.0f%%; retry for a verified result.)", confidence*100)
+	ans.Text = sb.String()
+	ans.Provenance = g
+	ans.AnswerNode = ansNode
+	return ans
+}
+
+func text60(s string) string {
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}

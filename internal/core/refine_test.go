@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -86,7 +87,7 @@ func TestAskAndRefineYes(t *testing.T) {
 			continue
 		}
 		refined = true
-		confirmed, err := s.Respond(sess, "yes")
+		confirmed, err := s.Respond(context.Background(), sess, "yes")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +119,7 @@ func TestAskAndRefineNo(t *testing.T) {
 		if !strings.Contains(ans.Clarification, "Shall I run with it?") {
 			continue
 		}
-		declined, err := s.Respond(sess, "no, that is wrong")
+		declined, err := s.Respond(context.Background(), sess, "no, that is wrong")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func TestAskAndRefineNo(t *testing.T) {
 			t.Errorf("declined = %+v", declined)
 		}
 		// A second "yes" must not resurrect the discarded candidate.
-		again, _ := s.Respond(sess, "yes")
+		again, _ := s.Respond(context.Background(), sess, "yes")
 		if !again.Abstained {
 			t.Errorf("stale pending answer resurrected: %+v", again)
 		}

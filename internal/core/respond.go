@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -500,14 +502,14 @@ const (
 // Self-contained questions go through the optimizer's singleflight
 // answer cache: concurrent sessions asking the same question share
 // one pipeline run, and a stampede on a cold key computes once.
-func (s *System) query(sess *dialogue.Session, text string, rng *rand.Rand) (*Answer, error) {
+func (s *System) query(ctx context.Context, sess *dialogue.Session, text string, rng *rand.Rand) (*Answer, error) {
 	if s.translator == nil {
 		return &Answer{Abstained: true, Text: "No database is connected."}, nil
 	}
 	// Follow-ups depend on conversation context and must bypass the
 	// text-keyed answer cache.
 	if _, freshErr := nl2sql.ParseIntent(text); freshErr != nil {
-		ans, _, err := s.queryUncached(sess, text, rng)
+		ans, _, err := s.queryUncached(ctx, sess, text, rng)
 		return ans, err
 	}
 	// A caller served from the cache (or from another caller's flight)
@@ -515,8 +517,8 @@ func (s *System) query(sess *dialogue.Session, text string, rng *rand.Rand) (*An
 	// have. The cache shares one *Answer across callers, so each caller
 	// gets a shallow copy — per-session suggestion attachment must not
 	// race on the shared value.
-	ans, err := s.cache.Do(text, func() (*Answer, bool, error) {
-		return s.queryUncached(sess, text, rng)
+	ans, err := s.cache.Do(ctx, text, func() (*Answer, bool, error) {
+		return s.queryUncached(ctx, sess, text, rng)
 	})
 	if ans == nil || err != nil {
 		return nil, err
@@ -530,14 +532,27 @@ func (s *System) query(sess *dialogue.Session, text string, rng *rand.Rand) (*An
 // only final committed answers are; clarifications, abstentions, and
 // pending ask-and-refine exchanges carry session side effects and are
 // recomputed per caller.
-func (s *System) queryUncached(sess *dialogue.Session, text string, rng *rand.Rand) (*Answer, bool, error) {
+func (s *System) queryUncached(ctx context.Context, sess *dialogue.Session, text string, rng *rand.Rand) (*Answer, bool, error) {
 	var prevFrame *nl2sql.Frame
 	if f, ok := sess.Memo[memoLastFrame].(*nl2sql.Frame); ok {
 		prevFrame = f
 	}
 	ans := &Answer{}
-	tr, frame, err := s.translator.TranslateWithContext(text, prevFrame)
+	tr, frame, err := s.translate(ctx, text, prevFrame)
 	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// A cancelled request is not an outage: propagate, never
+			// degrade and never cache.
+			return nil, false, err
+		}
+		if infrastructureFailure(err) {
+			// Retries exhausted or circuit open: walk the degradation
+			// ladder. Degraded answers are never cached — the next
+			// caller should get the verified pipeline back as soon as
+			// it heals.
+			deg, derr := s.degrade(ctx, text, err)
+			return deg, false, derr
+		}
 		ans.Clarification = "I could not map that question to the data; try 'how many …', 'what is the average … in …', or 'list the … of …'."
 		ans.Text = ans.Clarification
 		ans.Abstained = true

@@ -170,10 +170,13 @@ type Session struct {
 // NewSession creates an empty session.
 func NewSession() *Session { return &Session{Memo: map[string]any{}} }
 
-// AddUserTurn appends a user turn, classifying its intent, and
-// returns that intent. A pending clarification biases classification
-// toward IntentChoose when the utterance references an offer.
-func (s *Session) AddUserTurn(text string) Intent {
+// ClassifyTurn classifies a user utterance in the session's context
+// WITHOUT mutating the session. A pending clarification biases
+// classification toward IntentChoose when the utterance references an
+// offer. The orchestrator classifies first, dispatches, and only
+// commits the turn pair once the answer is final — so a cancelled or
+// failed turn never leaves a partial transcript entry.
+func (s *Session) ClassifyTurn(text string) Intent {
 	intent := ClassifyIntent(text)
 	// A pending clarification only reinterprets utterances that have
 	// no clear intent of their own ("the barometer"); an explicit
@@ -183,6 +186,13 @@ func (s *Session) AddUserTurn(text string) Intent {
 			intent = IntentChoose
 		}
 	}
+	return intent
+}
+
+// AddUserTurn appends a user turn, classifying its intent, and
+// returns that intent.
+func (s *Session) AddUserTurn(text string) Intent {
+	intent := s.ClassifyTurn(text)
 	s.Turns = append(s.Turns, Turn{Role: RoleUser, Text: text, Intent: intent})
 	return intent
 }
@@ -190,6 +200,15 @@ func (s *Session) AddUserTurn(text string) Intent {
 // AddSystemTurn appends a system turn with its confidence.
 func (s *Session) AddSystemTurn(text string, confidence float64) {
 	s.Turns = append(s.Turns, Turn{Role: RoleSystem, Text: text, Confidence: confidence})
+}
+
+// CommitTurn atomically appends a completed user/system turn pair
+// with the intent the dispatch ran under (classified before any
+// handler side effects shifted the pending-clarification bias).
+func (s *Session) CommitTurn(userText string, intent Intent, systemText string, confidence float64) {
+	s.Turns = append(s.Turns,
+		Turn{Role: RoleUser, Text: userText, Intent: intent},
+		Turn{Role: RoleSystem, Text: systemText, Confidence: confidence})
 }
 
 // SetOffers replaces the current offers (after a discovery response)

@@ -150,6 +150,18 @@ type DenseIndex struct {
 	embedder *Embedder
 	items    []Item
 	vectors  []vectorindex.Vector
+	// Faults, when non-nil, injects deterministic chaos faults into
+	// TrySearch (see internal/faults). Set once at wiring time,
+	// before concurrent use.
+	Faults FaultHook
+}
+
+// FaultHook is the chaos-injection seam (see internal/faults): when
+// non-nil it is consulted by TrySearch and may return an injected
+// transient error or add latency. Production deployments leave it
+// nil.
+type FaultHook interface {
+	Inject(op string) error
 }
 
 // NewDenseIndex creates an empty index over the given embedder
@@ -179,6 +191,19 @@ type Hit struct {
 // Search returns the k most similar items (cosine), ties broken by ID.
 func (ix *DenseIndex) Search(query string, k int) []Hit {
 	return ix.search(query, k, parallel.Options{Workers: 1})
+}
+
+// TrySearch is Search through the fault-injection seam: with no hook
+// wired (or no fault drawn) it returns exactly Search's hits; under
+// an injected fault it returns the injected error. Resilience-aware
+// callers (the core degradation ladder) use this entry point.
+func (ix *DenseIndex) TrySearch(query string, k int) ([]Hit, error) {
+	if ix.Faults != nil {
+		if err := ix.Faults.Inject("embed.search"); err != nil {
+			return nil, err
+		}
+	}
+	return ix.Search(query, k), nil
 }
 
 // SearchParallel is Search with the similarity scan chunked over

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,7 +37,7 @@ func RunE1(seed int64) (*E1Result, error) {
 	sess := sys.NewSession()
 	res := &E1Result{AllLossless: true}
 	for i, turn := range workload.Figure1Turns() {
-		ans, err := sys.Respond(sess, turn)
+		ans, err := sys.Respond(context.Background(), sess, turn)
 		if err != nil {
 			return nil, fmt.Errorf("turn %d: %w", i+1, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -72,7 +73,7 @@ func RunE6(sessions, turnBudget int, seed int64) (*E6Result, error) {
 		var last *core.Answer
 		for turns < turnBudget {
 			turns++
-			ans, err := sys.Respond(sess, guidedPolicy(last))
+			ans, err := sys.Respond(context.Background(), sess, guidedPolicy(last))
 			if err != nil {
 				return nil, err
 			}
@@ -98,7 +99,7 @@ func RunE6(sessions, turnBudget int, seed int64) (*E6Result, error) {
 		for turns < turnBudget {
 			turns++
 			u := randomPool[rng.Intn(len(randomPool))]
-			ans, err := sys2.Respond(sess2, u)
+			ans, err := sys2.Respond(context.Background(), sess2, u)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -96,7 +97,7 @@ func runE8Config(name string, mutate func(*core.Config), noise float64, seed int
 	start := time.Now()
 	for _, qa := range swissQuestions {
 		sess := sys.NewSession()
-		ans, err := sys.Respond(sess, qa.question)
+		ans, err := sys.Respond(context.Background(), sess, qa.question)
 		if err != nil {
 			return nil, err
 		}

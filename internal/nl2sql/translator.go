@@ -8,6 +8,7 @@ import (
 
 	"github.com/reliable-cda/cda/internal/ground"
 	"github.com/reliable-cda/cda/internal/nlmodel"
+	"github.com/reliable-cda/cda/internal/resilience"
 	"github.com/reliable-cda/cda/internal/sqldb"
 	"github.com/reliable-cda/cda/internal/storage"
 )
@@ -68,6 +69,17 @@ func (t *Translation) Tables() []string {
 	return out
 }
 
+// FaultHook is the chaos-injection seam for the simulated NL model
+// (see internal/faults): Inject may fail or delay a generation call
+// the way a hosted LLM endpoint does, and CorruptTokens may corrupt a
+// candidate's token stream over and above the configured channel
+// noise — giving the verification layer realistic garbage to catch.
+// Production deployments leave it nil.
+type FaultHook interface {
+	Inject(op string) error
+	CorruptTokens(op string, toks []string) []string
+}
+
 // Translator is the NL→SQL component. Configure the channel's
 // HallucinationRate to model a weaker or stronger underlying LLM.
 type Translator struct {
@@ -77,6 +89,9 @@ type Translator struct {
 	Channel  nlmodel.Channel
 	Options  Options
 	Seed     int64
+	// Faults, when non-nil, injects deterministic chaos faults into
+	// NL-model generation.
+	Faults FaultHook
 
 	reranker *Reranker // lazily built when Options.UseReranking
 }
@@ -166,6 +181,14 @@ func (t *Translator) Translate(question string) (*Translation, error) {
 // translateFrame runs the pipeline on an already-extracted frame
 // (used directly by follow-up resolution).
 func (t *Translator) translateFrame(question string, frame *Frame) (*Translation, error) {
+	if t.Faults != nil {
+		// One generation call per question: the simulated LLM endpoint
+		// can be down (transient error) or slow (latency), independent
+		// of the per-token channel noise below.
+		if err := t.Faults.Inject("nlmodel.generate"); err != nil {
+			return nil, err
+		}
+	}
 	var resolver Resolver = LiteralResolver{}
 	tr := &Translation{}
 	if t.Options.UseGrounding && t.Grounder != nil {
@@ -193,6 +216,7 @@ func (t *Translator) translateFrame(question string, frame *Frame) (*Translation
 	}
 	byFP := map[string]*executed{}
 	var firstCandidate string
+	var lastTransient error
 	for s := 0; s < samples; s++ {
 		var cand string
 		if t.Options.UseReranking {
@@ -206,6 +230,12 @@ func (t *Translator) translateFrame(question string, frame *Frame) (*Translation
 		}
 		res, err := t.Engine.Query(cand)
 		if err != nil {
+			if resilience.IsTransient(err) {
+				// Backend failure, not a bad candidate: remember it so a
+				// fully-failed round surfaces as an error the resilience
+				// layer can retry, rather than a silent abstention.
+				lastTransient = err
+			}
 			if !t.Options.UseVerification {
 				// Without verification the system blindly reports its
 				// first candidate even when it cannot execute.
@@ -232,6 +262,12 @@ func (t *Translator) translateFrame(question string, frame *Frame) (*Translation
 	}
 
 	if len(byFP) == 0 {
+		if lastTransient != nil {
+			// Every sample died on a transient backend fault; report the
+			// failure upward instead of disguising an outage as a
+			// semantic abstention.
+			return nil, lastTransient
+		}
 		// Nothing executed: abstain rather than hallucinate (P4).
 		tr.Abstained = true
 		tr.SQL = firstCandidate
@@ -279,6 +315,12 @@ func (t *Translator) emitCandidate(ideal string, rng *rand.Rand) string {
 	for a := 0; a < attempts; a++ {
 		toks := tokenizeSQL(ideal)
 		noisy := t.Channel.Corrupt(rng, toks)
+		if t.Faults != nil {
+			// A corruption fault degrades this candidate far beyond the
+			// channel's baseline noise; constrained repair and
+			// execution-verification must absorb it or abstain.
+			noisy = t.Faults.CorruptTokens("nlmodel.generate", noisy)
+		}
 		cand := strings.Join(noisy, " ")
 		if t.Options.UseConstrained {
 			cand = t.repairIdentifiers(cand)

@@ -6,6 +6,7 @@ package optimizer
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -100,13 +101,23 @@ func (c *Cache[V]) putLocked(key string, val V) {
 // false and a nil error the result is treated as caller-specific —
 // nothing is cached and each waiter runs its own compute once the
 // leader finishes.
-func (c *Cache[V]) Do(key string, compute func() (V, bool, error)) (V, error) {
+//
+// A waiter whose ctx is done stops waiting and returns ctx.Err();
+// the leader's flight still settles normally for the other waiters.
+// The leader itself is responsible for honoring ctx inside compute —
+// a leader that abandons the flight would strand its waiters.
+func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, bool, error)) (V, error) {
 	v, hit, f, leader := c.lookup(key)
 	if hit {
 		return v, nil
 	}
 	if !leader {
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
 		if f.shared {
 			return f.val, f.err
 		}
@@ -157,8 +168,8 @@ func (c *Cache[V]) settle(key string, f *flight[V], v V, store bool, err error) 
 // GetOrCompute returns the cached value or computes, stores, and
 // returns it, sharing one in-flight computation per key among
 // concurrent callers (singleflight via Do).
-func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (V, error) {
-	v, err := c.Do(key, func() (V, bool, error) {
+func (c *Cache[V]) GetOrCompute(ctx context.Context, key string, compute func() (V, error)) (V, error) {
+	v, err := c.Do(ctx, key, func() (V, bool, error) {
 		v, err := compute()
 		return v, err == nil, err
 	})

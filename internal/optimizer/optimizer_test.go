@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -74,16 +75,16 @@ func TestGetOrCompute(t *testing.T) {
 	c := NewCache[int](4)
 	calls := 0
 	fn := func() (int, error) { calls++; return 42, nil }
-	v, err := c.GetOrCompute("k", fn)
+	v, err := c.GetOrCompute(context.Background(), "k", fn)
 	if err != nil || v != 42 {
 		t.Fatalf("first = %v %v", v, err)
 	}
-	v, err = c.GetOrCompute("k", fn)
+	v, err = c.GetOrCompute(context.Background(), "k", fn)
 	if err != nil || v != 42 || calls != 1 {
 		t.Errorf("second = %v %v calls=%d", v, err, calls)
 	}
 	wantErr := errors.New("boom")
-	_, err = c.GetOrCompute("bad", func() (int, error) { return 0, wantErr })
+	_, err = c.GetOrCompute(context.Background(), "bad", func() (int, error) { return 0, wantErr })
 	if !errors.Is(err, wantErr) {
 		t.Errorf("err = %v", err)
 	}
@@ -152,7 +153,7 @@ func TestDoComputesOnce(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := c.Do("key", compute)
+			v, err := c.Do(context.Background(), "key", compute)
 			if err != nil || v != 7 {
 				t.Errorf("do = %v %v", v, err)
 			}
@@ -179,7 +180,7 @@ func TestDoSharesErrorWithWaiters(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		_, err := c.Do("k", func() (int, bool, error) {
+		_, err := c.Do(context.Background(), "k", func() (int, bool, error) {
 			calls.Add(1)
 			close(entered)
 			<-release
@@ -195,7 +196,7 @@ func TestDoSharesErrorWithWaiters(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := c.Do("k", func() (int, bool, error) {
+			_, err := c.Do(context.Background(), "k", func() (int, bool, error) {
 				calls.Add(1)
 				return 0, false, nil
 			})
@@ -217,7 +218,7 @@ func TestDoSharesErrorWithWaiters(t *testing.T) {
 		t.Error("error result cached")
 	}
 	// The error was not cached: a later call retries.
-	v, err := c.Do("k", func() (int, bool, error) { return 5, true, nil })
+	v, err := c.Do(context.Background(), "k", func() (int, bool, error) { return 5, true, nil })
 	if err != nil || v != 5 {
 		t.Errorf("retry = %v %v", v, err)
 	}
@@ -233,7 +234,7 @@ func TestDoNonCacheableNotShared(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		v, err := c.Do("k", func() (int, bool, error) {
+		v, err := c.Do(context.Background(), "k", func() (int, bool, error) {
 			close(entered)
 			<-release
 			return 1, false, nil
@@ -249,7 +250,7 @@ func TestDoNonCacheableNotShared(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := c.Do("k", func() (int, bool, error) {
+			v, err := c.Do(context.Background(), "k", func() (int, bool, error) {
 				waiterCalls.Add(1)
 				return 2, false, nil
 			})
@@ -274,8 +275,8 @@ func TestDoNonCacheableNotShared(t *testing.T) {
 
 func TestDoDistinctKeys(t *testing.T) {
 	c := NewCache[string](4)
-	a, _ := c.Do("a", func() (string, bool, error) { return "A", true, nil })
-	b, _ := c.Do("b", func() (string, bool, error) { return "B", true, nil })
+	a, _ := c.Do(context.Background(), "a", func() (string, bool, error) { return "A", true, nil })
+	b, _ := c.Do(context.Background(), "b", func() (string, bool, error) { return "B", true, nil })
 	if a != "A" || b != "B" {
 		t.Errorf("values = %q %q", a, b)
 	}

@@ -1,0 +1,203 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned (wrapped) when a circuit breaker rejects a call
+// without attempting it. It is never transient: an open circuit means
+// the backend is known-bad and the caller should degrade immediately
+// instead of queueing retries behind it.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerState is the classic three-state circuit model.
+type BreakerState int
+
+// Breaker states.
+const (
+	// StateClosed passes calls through, counting consecutive failures.
+	StateClosed BreakerState = iota
+	// StateOpen rejects calls until the cool-down elapses.
+	StateOpen
+	// StateHalfOpen admits a bounded number of probe calls; success
+	// closes the circuit, failure reopens it.
+	StateHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes one circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// circuit (default 5).
+	FailureThreshold int
+	// OpenTimeout is the cool-down before an open circuit admits a
+	// half-open probe (default 1s of clock time).
+	OpenTimeout time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close the
+	// circuit again (default 1).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// Breaker is a per-backend circuit breaker on an injectable clock.
+// Callers bracket each attempt with Allow/Record. Safe for concurrent
+// use; the clock is read before the lock is taken so the mutex stays
+// leaf-level.
+type Breaker struct {
+	name  string
+	cfg   BreakerConfig
+	clock Clock
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int           // consecutive failures while closed
+	successes int           // consecutive probe successes while half-open
+	probes    int           // probes currently in flight while half-open
+	openedAt  time.Duration // clock time the circuit last opened
+}
+
+// NewBreaker builds a breaker named for its backend. A nil clock
+// falls back to a VirtualClock.
+func NewBreaker(name string, cfg BreakerConfig, clock Clock) *Breaker {
+	if clock == nil {
+		clock = NewVirtualClock()
+	}
+	return &Breaker{name: name, cfg: cfg.withDefaults(), clock: clock}
+}
+
+// Name returns the backend name the breaker guards.
+func (b *Breaker) Name() string { return b.name }
+
+// State returns the current state (transitioning open → half-open if
+// the cool-down has elapsed).
+func (b *Breaker) State() BreakerState {
+	now := b.clock.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen(now)
+	return b.state
+}
+
+// Allow reports whether a call may proceed. It returns nil to admit
+// the call (the caller must pair it with Record) or an error wrapping
+// ErrOpen when the circuit rejects it.
+func (b *Breaker) Allow() error {
+	now := b.clock.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen(now)
+	switch b.state {
+	case StateOpen:
+		return fmt.Errorf("%w: backend %s cooling down", ErrOpen, b.name)
+	case StateHalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return fmt.Errorf("%w: backend %s probing", ErrOpen, b.name)
+		}
+		b.probes++
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Record reports the outcome of a call admitted by Allow. A nil err
+// counts as success; context cancellation and deadline expiry carry
+// no signal about backend health and only release the probe slot.
+func (b *Breaker) Record(err error) {
+	now := b.clock.Now()
+	neutral := err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateHalfOpen && b.probes > 0 {
+		b.probes--
+	}
+	if neutral {
+		return
+	}
+	if err == nil {
+		b.recordSuccess()
+		return
+	}
+	b.recordFailure(now)
+}
+
+// recordSuccess handles a successful outcome. Caller holds the lock.
+func (b *Breaker) recordSuccess() {
+	switch b.state {
+	case StateHalfOpen:
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.reset()
+		}
+	case StateClosed:
+		b.failures = 0
+	}
+}
+
+// recordFailure handles a failed outcome. Caller holds the lock.
+func (b *Breaker) recordFailure(now time.Duration) {
+	switch b.state {
+	case StateHalfOpen:
+		b.trip(now)
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip(now)
+		}
+	}
+}
+
+// maybeHalfOpen transitions open → half-open once the cool-down has
+// elapsed. Caller holds the lock.
+func (b *Breaker) maybeHalfOpen(now time.Duration) {
+	if b.state == StateOpen && now-b.openedAt >= b.cfg.OpenTimeout {
+		b.state = StateHalfOpen
+		b.probes = 0
+		b.successes = 0
+	}
+}
+
+// trip opens the circuit. Caller holds the lock.
+func (b *Breaker) trip(now time.Duration) {
+	b.state = StateOpen
+	b.openedAt = now
+	b.failures = 0
+	b.successes = 0
+	b.probes = 0
+}
+
+// reset closes the circuit. Caller holds the lock.
+func (b *Breaker) reset() {
+	b.state = StateClosed
+	b.failures = 0
+	b.successes = 0
+	b.probes = 0
+}

@@ -1,0 +1,99 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time so retry backoff and circuit
+// breaker cool-downs are injectable: production uses WallClock, while
+// tests and the chaos harness use VirtualClock so fault sweeps run
+// instantly and two runs with the same seed see the same timeline.
+//
+// The repo's cdalint raw-sleep rule forbids time.Sleep outside tests
+// for exactly this reason: a raw sleep inside a retry loop would make
+// chaos transcripts timing-dependent.
+type Clock interface {
+	// Now returns the logical elapsed time since the clock's epoch.
+	Now() time.Duration
+	// Sleep waits for d or until ctx is done, returning ctx.Err()
+	// when interrupted.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// VirtualClock is a deterministic logical clock: Sleep advances the
+// clock instantly instead of blocking, so retries, breaker timeouts,
+// and injected latency cost zero wall time while still ordering
+// events identically across runs. Safe for concurrent use.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewVirtualClock creates a virtual clock at epoch zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now returns the accumulated logical time.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the logical clock by d without blocking. A done
+// context still short-circuits so cancellation semantics match the
+// wall clock.
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Advance(d)
+	return nil
+}
+
+// Advance moves the clock forward by d (no-op for d <= 0).
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// WallClock is the production clock. Its use of the wall clock is
+// deliberately confined to this one type so the nondeterminism lint
+// rule keeps every other package honest.
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock creates a wall clock with its epoch at construction.
+func NewWallClock() *WallClock {
+	// cdalint:ignore nondeterminism -- the production clock is the one
+	// sanctioned wall-time source; deterministic runs use VirtualClock.
+	return &WallClock{epoch: time.Now()}
+}
+
+// Now returns wall time elapsed since construction.
+func (c *WallClock) Now() time.Duration {
+	// cdalint:ignore nondeterminism -- see NewWallClock.
+	return time.Since(c.epoch)
+}
+
+// Sleep blocks for d or until ctx is done. It uses a timer rather
+// than time.Sleep so cancellation interrupts the wait immediately.
+func (c *WallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

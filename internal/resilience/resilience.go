@@ -1,0 +1,141 @@
+// Package resilience provides the machinery that keeps the CDA
+// pipeline reliably wrong-aware when backends fail (P4 Soundness):
+// retries with capped exponential backoff and seeded jitter, per-
+// backend circuit breakers with half-open probing, and context-based
+// deadline/cancellation propagation. Every time-dependent behaviour
+// runs on an injectable Clock so the chaos harness (internal/chaos)
+// can sweep fault rates deterministically: same seed, same transcript,
+// faults included.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// transientError marks an error as retryable. Backends (and the fault
+// injector) wrap transient failures with MarkTransient; everything
+// else is treated as permanent and fails fast.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// MarkTransient wraps err so IsTransient reports true. A nil err
+// returns nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// transient. Context cancellation and deadline expiry are never
+// transient: retrying a dead request wastes its caller's budget.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// RetryPolicy shapes the backoff schedule.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay after the first failure
+	// (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 500ms).
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// Retrier retries transient failures with capped exponential backoff
+// and seeded equal-jitter, sleeping on the injected clock. Safe for
+// concurrent use; the jitter stream is serialized by a mutex.
+type Retrier struct {
+	policy RetryPolicy
+	clock  Clock
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetrier builds a retrier. A nil clock falls back to a
+// VirtualClock (deterministic, non-blocking).
+func NewRetrier(policy RetryPolicy, clock Clock, seed int64) *Retrier {
+	if clock == nil {
+		clock = NewVirtualClock()
+	}
+	return &Retrier{
+		policy: policy.withDefaults(),
+		clock:  clock,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Do runs op, retrying transient errors until the policy's attempt
+// budget is exhausted, the error turns permanent, or ctx is done.
+// The returned error is op's last error (or ctx.Err() when the wait
+// was interrupted), so callers can classify it with IsTransient.
+func (r *Retrier) Do(ctx context.Context, op func() error) error {
+	var err error
+	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt == r.policy.MaxAttempts-1 {
+			break
+		}
+		if serr := r.clock.Sleep(ctx, r.backoff(attempt)); serr != nil {
+			return serr
+		}
+	}
+	return fmt.Errorf("resilience: %d attempts exhausted: %w", r.policy.MaxAttempts, err)
+}
+
+// backoff computes the equal-jitter delay for the given zero-based
+// attempt: half the capped exponential delay is guaranteed, the other
+// half is drawn from the seeded stream.
+func (r *Retrier) backoff(attempt int) time.Duration {
+	d := float64(r.policy.BaseDelay)
+	for i := 0; i < attempt; i++ {
+		d *= r.policy.Multiplier
+		if d >= float64(r.policy.MaxDelay) {
+			d = float64(r.policy.MaxDelay)
+			break
+		}
+	}
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(d/2 + f*d/2)
+}

@@ -14,12 +14,15 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/reliable-cda/cda/internal/catalog"
 	"github.com/reliable-cda/cda/internal/core"
@@ -138,7 +141,16 @@ type AskResponse struct {
 	Suggestions   string   `json:"suggestions,omitempty"`
 	Sources       []string `json:"sources,omitempty"`
 	Provenance    string   `json:"provenance,omitempty"`
+	// Degraded names the fallback tier that produced the answer when
+	// the verified pipeline was unavailable (empty otherwise), so UIs
+	// can render the outage caveat alongside the lowered confidence.
+	Degraded string `json:"degraded,omitempty"`
 }
+
+// reqCounter issues request IDs for error correlation in logs. An
+// atomic counter — not a timestamp — so the server stays free of
+// wall-clock reads.
+var reqCounter atomic.Int64
 
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	entry, ok := s.session(r.PathValue("id"))
@@ -156,10 +168,22 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry.mu.Lock()
-	ans, err := s.sys.Respond(entry.sess, req.Question)
+	ans, err := s.sys.Respond(r.Context(), entry.sess, req.Question)
 	entry.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client went away or the request deadline passed; the
+			// session transcript gained no partial turn (core's
+			// contract), so the next ask starts clean.
+			writeError(w, http.StatusServiceUnavailable, "request cancelled or timed out")
+			return
+		}
+		// Internal details (SQL text, backend names, stack context)
+		// must not leak to clients: log them server-side under a
+		// request ID and return only the reference.
+		reqID := fmt.Sprintf("req-%06d", reqCounter.Add(1))
+		log.Printf("server: ask on session %s failed [%s]: %v", r.PathValue("id"), reqID, err)
+		writeError(w, http.StatusInternalServerError, "internal error (reference "+reqID+")")
 		return
 	}
 	resp := AskResponse{
@@ -170,6 +194,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		Clarification: ans.Clarification,
 		Suggestions:   ans.Suggestions,
 		Sources:       ans.Explanation.Sources,
+		Degraded:      ans.Degraded,
 	}
 	if ans.Provenance != nil && ans.AnswerNode != "" {
 		resp.Provenance = ans.Provenance.Summary(ans.AnswerNode)

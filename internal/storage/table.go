@@ -177,12 +177,23 @@ func (t *Table) DistinctStrings(name string) ([]string, error) {
 	return out, nil
 }
 
+// FaultHook is the chaos-injection seam (see internal/faults): when
+// non-nil it is consulted on every Get and may return an injected
+// transient error or add latency. Production deployments leave it
+// nil. It must be set before the database serves concurrent readers.
+type FaultHook interface {
+	Inject(op string) error
+}
+
 // Database is a named registry of tables, safe for concurrent use.
 type Database struct {
 	mu     sync.RWMutex
 	Name   string
 	tables map[string]*Table
 	order  []string
+	// Faults, when non-nil, injects deterministic chaos faults into
+	// table lookups. Set once at wiring time, before concurrent use.
+	Faults FaultHook
 }
 
 // NewDatabase creates an empty database.
@@ -203,6 +214,11 @@ func (db *Database) Put(t *Table) {
 
 // Get returns the named table (case-insensitive).
 func (db *Database) Get(name string) (*Table, error) {
+	if db.Faults != nil {
+		if err := db.Faults.Inject("storage.get"); err != nil {
+			return nil, err
+		}
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	t, ok := db.tables[strings.ToLower(name)]

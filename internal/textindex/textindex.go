@@ -85,6 +85,14 @@ type posting struct {
 	freq int
 }
 
+// FaultHook is the chaos-injection seam (see internal/faults): when
+// non-nil it is consulted by TrySearch and may return an injected
+// transient error or add latency. Production deployments leave it
+// nil. It must be set before the index serves concurrent searches.
+type FaultHook interface {
+	Inject(op string) error
+}
+
 // Index is a BM25 inverted index. Add documents, then Search. Safe
 // for concurrent searches after building; Add must not race Search.
 type Index struct {
@@ -94,6 +102,9 @@ type Index struct {
 	postings  map[string][]posting
 	totalLen  int
 	dirtyBM25 bool
+	// Faults, when non-nil, injects deterministic chaos faults into
+	// TrySearch. Set once at wiring time, before concurrent use.
+	Faults FaultHook
 }
 
 // NewIndex creates an empty index.
@@ -139,6 +150,19 @@ func (ix *Index) Doc(i int) Document {
 // documents sharing no query term are omitted.
 func (ix *Index) Search(query string, k int) []Hit {
 	return ix.search(query, k, parallel.Options{Workers: 1})
+}
+
+// TrySearch is Search through the fault-injection seam: with no hook
+// wired (or no fault drawn) it returns exactly Search's hits; under
+// an injected fault it returns the injected error. Resilience-aware
+// callers (the core degradation ladder) use this entry point.
+func (ix *Index) TrySearch(query string, k int) ([]Hit, error) {
+	if ix.Faults != nil {
+		if err := ix.Faults.Inject("textindex.search"); err != nil {
+			return nil, err
+		}
+	}
+	return ix.Search(query, k), nil
 }
 
 // SearchParallel is Search with the scoring fanned out over `workers`

@@ -49,6 +49,9 @@ type IVF struct {
 	// lower the threshold to exercise the parallel path on small
 	// fixtures.
 	par parallel.Options
+	// Faults, when non-nil, injects deterministic chaos faults into
+	// searches.
+	Faults FaultHook
 }
 
 // NewIVF trains the coarse quantizer with seeded k-means and assigns
@@ -200,6 +203,11 @@ func (ivf *IVF) orderedLists(q Vector) []int {
 // the canonical heap order makes the merged result identical to the
 // serial scan's.
 func (ivf *IVF) Search(q Vector, k int) ([]Neighbor, error) {
+	if ivf.Faults != nil {
+		if err := ivf.Faults.Inject("vectorindex.search"); err != nil {
+			return nil, err
+		}
+	}
 	if len(ivf.data) == 0 {
 		return nil, ErrEmpty
 	}

@@ -16,6 +16,7 @@ package cda
 // scripts/bench.sh snapshots the whole suite into BENCH_baseline.json.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -170,7 +171,7 @@ func BenchmarkParallelRespondBatch(b *testing.B) {
 					Now: d.Now, Seed: 7,
 				})
 				b.StartTimer()
-				if _, err := sys.RespondBatch(questions, workers); err != nil {
+				if _, err := sys.RespondBatch(context.Background(), questions, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -6,14 +6,20 @@
 #   2. go build      — every package compiles
 #   3. cdalint       — the repo's own reliability analyzers
 #                      (dropped-error, nondeterminism, unannotated-answer,
-#                       mutex-hygiene, map-order-leak, bare-panic)
+#                       mutex-hygiene, map-order-leak, bare-panic, raw-sleep)
 #   4. determinism   — the serial-vs-parallel equality property tests,
 #                      run under -race (parallel operators must return
 #                      byte-identical results AND be race-clean)
-#   5. go test -race — full test suite under the race detector
-#   6. bench smoke   — one iteration of every BenchmarkParallel* so a
-#                      broken benchmark fixture fails the gate, not
-#                      the next perf investigation
+#   5. chaos         — fault-injection sweeps under -race: replayed
+#                      dialogues at 5/20/50/100% fault rates must stay
+#                      panic-free, annotate every degraded answer, and
+#                      produce byte-identical transcripts per seed;
+#                      plus the cancellation-contract tests in core
+#   6. go test -race — full test suite under the race detector
+#   7. bench smoke   — one iteration of every BenchmarkParallel* and
+#                      BenchmarkResilience* so a broken benchmark
+#                      fixture fails the gate, not the next perf
+#                      investigation
 #
 # Any non-zero exit fails the gate. See README "Static analysis &
 # reliability invariants" for what each cdalint rule enforces.
@@ -35,10 +41,14 @@ go test -race \
   -run 'TestParallelExecution|TestIVFParallelProbe|TestTopKCanonicalUnderTies|TestSearchBatch|TestSearchParallel|TestDenseSearchParallel|TestHybridSearch|TestRespondBatch' \
   ./internal/sqldb ./internal/vectorindex ./internal/textindex ./internal/embed ./internal/core
 
+echo "==> chaos fault sweeps (-race)"
+go test -race ./internal/chaos ./internal/faults ./internal/resilience
+go test -race -run 'TestCancelled|TestDeadlineExceeded|TestOpenBreaker' ./internal/core
+
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> parallel benchmark smoke (1 iteration)"
-go test -run='^$' -bench='^BenchmarkParallel' -benchtime=1x .
+echo "==> parallel + resilience benchmark smoke (1 iteration)"
+go test -run='^$' -bench='^Benchmark(Parallel|Resilience)' -benchtime=1x .
 
 echo "check.sh: all gates passed"
