@@ -35,7 +35,7 @@ import (
 func BenchmarkE1Figure1Dialogue(b *testing.B) {
 	var conf float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunE1(1)
+		r, err := experiments.RunE1(context.Background(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,7 +198,7 @@ func BenchmarkAblationConsistencySamples(b *testing.B) {
 func BenchmarkE6Guidance(b *testing.B) {
 	var gap float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunE6(4, 6, 3)
+		r, err := experiments.RunE6(context.Background(), 4, 6, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,7 +226,7 @@ func BenchmarkE7NL2SQLAblation(b *testing.B) {
 func BenchmarkE8InterplayMatrix(b *testing.B) {
 	var acc float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunE8(0.15, 5)
+		r, err := experiments.RunE8(context.Background(), 0.15, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -431,7 +431,7 @@ func BenchmarkE2VectorSearchParallelExact(b *testing.B) {
 func BenchmarkScorecard(b *testing.B) {
 	var sys float64
 	for i := 0; i < b.N; i++ {
-		sc, err := experiments.RunScorecard(5)
+		sc, err := experiments.RunScorecard(context.Background(), 5)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	only := flag.String("only", "", "comma-separated experiment ids (e1..e8); empty = all")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -50,7 +52,7 @@ func main() {
 	}
 	runners := []runner{
 		{"e1", func() (fmt.Stringer, error) {
-			r, err := experiments.RunE1(*seed)
+			r, err := experiments.RunE1(ctx, *seed)
 			if err != nil {
 				return nil, err
 			}
@@ -108,7 +110,7 @@ func main() {
 			if *quick {
 				sessions = 5
 			}
-			r, err := experiments.RunE6(sessions, 6, *seed)
+			r, err := experiments.RunE6(ctx, sessions, 6, *seed)
 			if err != nil {
 				return nil, err
 			}
@@ -122,7 +124,7 @@ func main() {
 			return r.Table(), nil
 		}},
 		{"e8", func() (fmt.Stringer, error) {
-			r, err := experiments.RunE8(0.15, *seed)
+			r, err := experiments.RunE8(ctx, 0.15, *seed)
 			if err != nil {
 				return nil, err
 			}
@@ -143,7 +145,7 @@ func main() {
 			return r.Table(), nil
 		}},
 		{"scorecard", func() (fmt.Stringer, error) {
-			r, err := experiments.RunScorecard(*seed)
+			r, err := experiments.RunScorecard(ctx, *seed)
 			if err != nil {
 				return nil, err
 			}

@@ -16,6 +16,7 @@
 //	-tests       also lint in-package _test.go files
 //	-list        print the available analyzers and exit
 //	-werror      treat warnings as fatal (default true)
+//	-format f    output format: text (default), json, or sarif
 package main
 
 import (
@@ -33,6 +34,7 @@ var (
 	tests  = flag.Bool("tests", false, "also lint in-package _test.go files")
 	list   = flag.Bool("list", false, "list available analyzers and exit")
 	werror = flag.Bool("werror", true, "exit nonzero on warnings too")
+	format = flag.String("format", "text", "output format: text, json, or sarif")
 )
 
 func main() {
@@ -82,14 +84,30 @@ func main() {
 
 	findings := analysis.Run(pkgs, analyzers)
 	bad := 0
-	for _, f := range findings {
+	for i := range findings {
+		f := &findings[i]
 		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			f.Pos.Filename = rel
+			f.Pos.Filename = filepath.ToSlash(rel)
 		}
-		fmt.Println(f)
 		if f.Severity == analysis.SeverityError || *werror {
 			bad++
 		}
+	}
+	switch *format {
+	case "text":
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	case "json":
+		if err := writeJSON(os.Stdout, findings, len(pkgs)); err != nil {
+			fatalf("cdalint: encoding json: %v", err)
+		}
+	case "sarif":
+		if err := writeSARIF(os.Stdout, findings); err != nil {
+			fatalf("cdalint: encoding sarif: %v", err)
+		}
+	default:
+		fatalf("cdalint: unknown -format %q (text, json, sarif)", *format)
 	}
 	if bad > 0 {
 		fatalf("cdalint: %d finding(s) in %d package(s)", bad, len(pkgs))

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+
+	"github.com/reliable-cda/cda/internal/analysis/flow"
 )
 
 // Severity classifies a finding. Errors violate a reliability
@@ -64,12 +66,39 @@ func (f Finding) String() string {
 		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Severity, f.Rule, f.Message)
 }
 
-// Analyzer is one lint rule run against a loaded package.
+// Analyzer is one lint rule. Per-package rules set Run; whole-module
+// rules (the interprocedural suite over internal/analysis/flow) set
+// RunModule instead and execute once over all loaded packages.
 type Analyzer struct {
-	Name     string
-	Doc      string
-	Severity Severity
-	Run      func(p *Package) []Finding
+	Name      string
+	Doc       string
+	Severity  Severity
+	Run       func(p *Package) []Finding
+	RunModule func(m *Module) []Finding
+}
+
+// Module bundles the loaded packages with the interprocedural flow
+// graph the module-wide analyzers share. Build it with NewModule; the
+// call graph and dataflow summaries are computed lazily inside flow.
+type Module struct {
+	Pkgs  []*Package
+	Units []*flow.Unit
+	Graph *flow.Graph
+}
+
+// NewModule assembles the flow units and call graph for the packages.
+func NewModule(pkgs []*Package) *Module {
+	units := make([]*flow.Unit, 0, len(pkgs))
+	for _, p := range pkgs {
+		units = append(units, &flow.Unit{
+			Path:  p.Path,
+			Fset:  p.Fset,
+			Files: p.Files,
+			Types: p.Types,
+			Info:  p.Info,
+		})
+	}
+	return &Module{Pkgs: pkgs, Units: units, Graph: flow.BuildGraph(units)}
 }
 
 // Analyzers returns the full rule suite in stable order.
@@ -82,6 +111,10 @@ func Analyzers() []*Analyzer {
 		MapOrderLeak,
 		BarePanic,
 		RawSleep,
+		CtxPropagation,
+		ProvenanceTaint,
+		ConfidenceBounds,
+		LockFlow,
 	}
 }
 
@@ -100,21 +133,43 @@ func AnalyzerByName(name string) *Analyzer {
 // sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var out []Finding
+	var moduleRules []*Analyzer
+	merged := ignoreSet{}
+	keep := func(a *Analyzer, fs []Finding, ign ignoreSet) {
+		for _, f := range fs {
+			if f.Rule == "" {
+				f.Rule = a.Name
+			}
+			if f.Severity == 0 && a.Severity != 0 {
+				f.Severity = a.Severity
+			}
+			if ign.suppressed(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
 	for _, p := range pkgs {
 		ign := ignoresFor(p)
+		for file, byLine := range ign {
+			merged[file] = byLine
+		}
 		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
-				if f.Rule == "" {
-					f.Rule = a.Name
-				}
-				if f.Severity == 0 && a.Severity != 0 {
-					f.Severity = a.Severity
-				}
-				if ign.suppressed(f) {
-					continue
-				}
-				out = append(out, f)
+			if a.Run == nil {
+				continue
 			}
+			keep(a, a.Run(p), ign)
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			moduleRules = append(moduleRules, a)
+		}
+	}
+	if len(moduleRules) > 0 {
+		m := NewModule(pkgs)
+		for _, a := range moduleRules {
+			keep(a, a.RunModule(m), merged)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -143,4 +198,8 @@ const (
 	ruleMapOrderLeak      = "map-order-leak"
 	ruleBarePanic         = "bare-panic"
 	ruleRawSleep          = "raw-sleep"
+	ruleCtxPropagation    = "ctx-propagation"
+	ruleProvenanceTaint   = "provenance-taint"
+	ruleConfidenceBounds  = "confidence-bounds"
+	ruleLockFlow          = "lock-flow"
 )

@@ -68,6 +68,10 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"map-order-leak", "maporder"},
 		{"bare-panic", "barepanic"},
 		{"raw-sleep", "rawsleep"},
+		{"ctx-propagation", "ctxprop"},
+		{"provenance-taint", "provtaint"},
+		{"confidence-bounds", "confbounds"},
+		{"lock-flow", "lockflow"},
 	}
 	loader := newTestLoader(t)
 	for _, tc := range cases {
@@ -112,17 +116,60 @@ func TestSuppressedSitesAreCounted(t *testing.T) {
 		"map-order-leak":     "maporder",
 		"bare-panic":         "barepanic",
 		"raw-sleep":          "rawsleep",
+		"ctx-propagation":    "ctxprop",
+		"provenance-taint":   "provtaint",
+		"confidence-bounds":  "confbounds",
+		"lock-flow":          "lockflow",
 	}
 	loader := newTestLoader(t)
 	for rule, dir := range cases {
 		a := AnalyzerByName(rule)
 		p := loadFixture(t, loader, dir)
-		raw := len(a.Run(p))
+		raw := len(rawFindings(a, p))
 		filtered := len(Run([]*Package{p}, []*Analyzer{a}))
 		if raw <= filtered {
 			t.Errorf("%s: raw findings %d should exceed post-ignore findings %d (fixture must include a suppressed case)",
 				rule, raw, filtered)
 		}
+	}
+}
+
+// rawFindings invokes an analyzer directly — per-package or
+// module-wide — with cdalint:ignore processing bypassed.
+func rawFindings(a *Analyzer, p *Package) []Finding {
+	if a.Run != nil {
+		return a.Run(p)
+	}
+	return a.RunModule(NewModule([]*Package{p}))
+}
+
+// TestIgnoreScopeGolden is the regression test for directive scoping
+// over multi-line statements: the ignorescope fixture's golden set
+// must contain the control finding but not the wrapped (suppressed)
+// one — and raw analyzer output must contain both.
+func TestIgnoreScopeGolden(t *testing.T) {
+	loader := newTestLoader(t)
+	a := AnalyzerByName("nondeterminism")
+	p := loadFixture(t, loader, "ignorescope")
+	got := renderFindings(t, Run([]*Package{p}, []*Analyzer{a}))
+	goldenPath := filepath.Join("testdata", "ignorescope.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	raw := len(rawFindings(a, p))
+	filtered := len(Run([]*Package{p}, []*Analyzer{a}))
+	if raw != filtered+2 {
+		t.Errorf("expected exactly 2 suppressed sites — the wrapped statement in each function — got raw=%d filtered=%d", raw, filtered)
 	}
 }
 

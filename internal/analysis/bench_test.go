@@ -1,0 +1,30 @@
+package analysis
+
+import "testing"
+
+// BenchmarkCdalint measures one full-suite analysis pass over the
+// whole module — the exact work scripts/check.sh runs under its
+// 60-second budget. Loading and type-checking the packages happens
+// once outside the timer; each iteration re-runs every analyzer,
+// including the module-wide call-graph construction and dataflow
+// fixed points (NewModule is rebuilt per Run call, as in the CLI).
+func BenchmarkCdalint(b *testing.B) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		b.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		b.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		b.Fatalf("expected the whole module, got %d packages", len(pkgs))
+	}
+	analyzers := Analyzers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if findings := Run(pkgs, analyzers); len(findings) != 0 {
+			b.Fatalf("module not lint-clean: %d findings", len(findings))
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ConfidenceBounds constant-folds every expression stored into a
+// confidence-named field, variable, or constant and rejects values
+// outside [0,1] — a confidence is a probability-like score, and the
+// abstention policy (ⓔ) compares it against a threshold in that
+// range. It also audits the graceful-degradation ladder: a degraded
+// tier's confidence cap must stay strictly below the abstention
+// threshold, otherwise a degraded answer would outrank the abstention
+// line and mask the very condition the ladder is signalling.
+var ConfidenceBounds = &Analyzer{
+	Name:      ruleConfidenceBounds,
+	Doc:       "confidence constants outside [0,1]; degraded-tier caps at or above the abstention threshold",
+	Severity:  SeverityError,
+	RunModule: runConfidenceBounds,
+}
+
+// confidenceName reports whether an identifier names a confidence
+// value. The match is deliberately narrow — "confidence" spelled out —
+// so unrelated thresholds (z-scores, row limits) are never folded.
+func confidenceName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "confidence")
+}
+
+func runConfidenceBounds(m *Module) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		out = append(out, confLiteralFindings(p)...)
+		out = append(out, ladderCapFindings(p)...)
+	}
+	return out
+}
+
+// constFloat extracts the constant value of an expression, folded by
+// the type checker, as a float64.
+func constFloat(p *Package, e ast.Expr) (float64, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		return f, true
+	}
+	return 0, false
+}
+
+// confLiteralFindings flags constant confidence values outside [0,1]
+// wherever they are bound to a confidence-named target: const/var
+// declarations, assignments, and composite-literal fields.
+func confLiteralFindings(p *Package) []Finding {
+	var out []Finding
+	check := func(name string, value ast.Expr) {
+		if !confidenceName(name) || value == nil {
+			return
+		}
+		v, ok := constFloat(p, value)
+		if !ok {
+			return
+		}
+		if v < 0 || v > 1 {
+			out = append(out, Finding{Rule: ruleConfidenceBounds, Severity: SeverityError,
+				Pos: p.Fset.Position(value.Pos()),
+				Message: fmt.Sprintf("%s is assigned constant %v, outside the confidence range [0,1]",
+					name, v)})
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				for i, id := range n.Names {
+					if i < len(n.Values) {
+						check(id.Name, n.Values[i])
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					switch t := ast.Unparen(lhs).(type) {
+					case *ast.Ident:
+						check(t.Name, n.Rhs[i])
+					case *ast.SelectorExpr:
+						check(t.Sel.Name, n.Rhs[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					check(id.Name, n.Value)
+				}
+			case *ast.CallExpr:
+				// Comparisons and arithmetic over confidences are fine;
+				// only binding sites are audited.
+				return true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ladderCapFindings compares, within one package, every constant
+// matching "degraded…confidence" against the constant matching
+// "abstain": the degradation ladder's caps must sit strictly below
+// the abstention threshold.
+func ladderCapFindings(p *Package) []Finding {
+	type namedConst struct {
+		name string
+		val  float64
+		pos  token.Position
+	}
+	var caps []namedConst
+	var abstain *namedConst
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		val := constant.ToFloat(c.Val())
+		if val.Kind() != constant.Float {
+			continue
+		}
+		f, _ := constant.Float64Val(val)
+		nc := namedConst{name: name, val: f, pos: p.Fset.Position(c.Pos())}
+		lower := strings.ToLower(name)
+		switch {
+		case strings.Contains(lower, "degraded") && strings.Contains(lower, "confidence"):
+			caps = append(caps, nc)
+		case strings.Contains(lower, "abstain"):
+			if abstain == nil || nc.name < abstain.name {
+				v := nc
+				abstain = &v
+			}
+		}
+	}
+	if abstain == nil {
+		return nil
+	}
+	var out []Finding
+	for _, tier := range caps {
+		if tier.val >= abstain.val {
+			out = append(out, Finding{Rule: ruleConfidenceBounds, Severity: SeverityError,
+				Pos: tier.pos,
+				Message: fmt.Sprintf("degraded-tier cap %s = %v is not below the abstention threshold %s = %v; a degraded answer would outrank the abstention line",
+					tier.name, tier.val, abstain.name, abstain.val)})
+		}
+	}
+	return out
+}

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -18,6 +20,7 @@ type ignoreSet map[string]map[int]map[string]bool
 func ignoresFor(p *Package) ignoreSet {
 	set := ignoreSet{}
 	for _, f := range p.Files {
+		ends := stmtEndsByLine(p.Fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
@@ -43,8 +46,17 @@ func ignoresFor(p *Package) ignoreSet {
 				// The directive covers its own line (end-of-line
 				// placement) and, when it heads a comment group, every
 				// line through the one after the group (preceding-
-				// comment placement with a wrapped reason).
+				// comment placement with a wrapped reason). When the
+				// covered line starts a statement that wraps across
+				// several lines, coverage extends through the end of
+				// that statement — a finding inside a wrapped call arg
+				// is reported on the arg's line, not the statement's.
 				last := p.Fset.Position(cg.End()).Line + 1
+				for line := pos.Line; line <= last; line++ {
+					if end, ok := ends[line]; ok && end > last {
+						last = end
+					}
+				}
 				for line := pos.Line; line <= last; line++ {
 					if byLine[line] == nil {
 						byLine[line] = map[string]bool{}
@@ -57,6 +69,32 @@ func ignoresFor(p *Package) ignoreSet {
 		}
 	}
 	return set
+}
+
+// stmtEndsByLine maps the line a simple (non-block) statement starts
+// on to the last line it spans. Block-bearing statements (if, for,
+// switch, func) are deliberately excluded: a directive above an if
+// statement must not silence the whole body.
+func stmtEndsByLine(fset *token.FileSet, f *ast.File) map[int]int {
+	ends := map[int]int{}
+	record := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end > ends[start] {
+			ends[start] = end
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.ReturnStmt,
+			*ast.DeferStmt, *ast.GoStmt, *ast.SendStmt,
+			*ast.DeclStmt, *ast.IncDecStmt, *ast.ValueSpec,
+			*ast.Field:
+			record(n)
+		}
+		return true
+	})
+	return ends
 }
 
 // parseRuleList extracts rule names from the directive tail; an

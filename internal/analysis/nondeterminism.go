@@ -33,8 +33,8 @@ var nondetAllowlist = []struct {
 	pkgSuffix string
 	file      string
 }{
-	{pkgSuffix: "internal/experiments"},                    // measures real latency
-	{pkgSuffix: "internal/metrics", file: "counters.go"},   // timing instrumentation
+	{pkgSuffix: "internal/experiments"},                  // measures real latency
+	{pkgSuffix: "internal/metrics", file: "counters.go"}, // timing instrumentation
 }
 
 // nondetAllowedFuncs are math/rand package-level functions that

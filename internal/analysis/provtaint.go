@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/analysis/flow"
+)
+
+// ProvenanceTaint enforces P2 Grounding interprocedurally: a value
+// that originates in a data-backend query result (sqldb, vectorindex,
+// textindex, embed) must not be stored into a user-facing Answer data
+// field unless the answer carries a grounding annotation — a
+// Provenance / AnswerNode assignment, an explicit abstention, or a
+// pass through the provenance/ground packages. The taint engine in
+// internal/analysis/flow tracks the backend value through locals,
+// string building, helper functions, and mutable-argument write-backs,
+// so laundering a result through a formatting helper does not hide it.
+var ProvenanceTaint = &Analyzer{
+	Name:      ruleProvenanceTaint,
+	Doc:       "backend query results stored into Answer data fields without provenance/ground annotation",
+	Severity:  SeverityError,
+	RunModule: runProvenanceTaint,
+}
+
+// backendPkgSuffixes are the data backends whose query results carry
+// user-visible data that must stay grounded.
+var backendPkgSuffixes = []string{
+	"internal/sqldb",
+	"internal/vectorindex",
+	"internal/textindex",
+	"internal/embed",
+}
+
+// backendQueryVerbs distinguish query-surface functions (taint
+// sources) from constructors and mutators in the same packages.
+var backendQueryVerbs = []string{
+	"Search", "Execute", "Query", "Probe", "Embed", "Hybrid", "Lookup", "Scan",
+}
+
+// isBackendSource reports whether fn is a backend query function.
+func isBackendSource(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkgMatch := false
+	for _, s := range backendPkgSuffixes {
+		if strings.HasSuffix(fn.Pkg().Path(), s) {
+			pkgMatch = true
+			break
+		}
+	}
+	if !pkgMatch {
+		return false
+	}
+	for _, v := range backendQueryVerbs {
+		if strings.Contains(fn.Name(), v) {
+			return true
+		}
+	}
+	return false
+}
+
+// annotPkgSuffixes are the packages whose functions perform grounding
+// annotation; a tainted value routed through them is accounted for.
+var annotPkgSuffixes = []string{"internal/provenance", "internal/ground"}
+
+func isAnnotationFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	for _, s := range annotPkgSuffixes {
+		if strings.HasSuffix(fn.Pkg().Path(), s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Data fields of core.Answer that surface to the user, and the
+// annotation fields any one of which satisfies the contract.
+var (
+	taintDataFields  = map[string]bool{"Text": true, "Code": true}
+	taintAnnotFields = map[string]bool{"Provenance": true, "AnswerNode": true, "Abstained": true}
+)
+
+// isAuditedAnswerType matches core.Answer (by path suffix so fixture
+// modules exercising the rule against the real type also match).
+func isAuditedAnswerType(t types.Type) bool {
+	path, name := namedPathName(t)
+	return name == "Answer" && strings.HasSuffix(path, "internal/core")
+}
+
+func runProvenanceTaint(m *Module) []Finding {
+	taint := m.Graph.Propagate(isBackendSource)
+	var out []Finding
+	for _, p := range m.Pkgs {
+		for _, fd := range funcDecls(p) {
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			out = append(out, auditTaintFunc(p, fd, fn, taint)...)
+		}
+	}
+	return out
+}
+
+// auditTaintFunc audits the Answer composite literals a function
+// constructs. Answers received as parameters or call results are the
+// constructing function's responsibility, not the caller's.
+func auditTaintFunc(p *Package, fd *ast.FuncDecl, fn *types.Func, taint *flow.Taint) []Finding {
+	type candidate struct {
+		pos   ast.Node
+		field string
+	}
+	// Bind literals to the local objects they initialize.
+	litObj := map[*ast.CompositeLit]types.Object{}
+	var lits []*ast.CompositeLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.Info.Types[cl]; !ok || !isAuditedAnswerType(tv.Type) {
+			return true
+		}
+		lits = append(lits, cl)
+		return true
+	})
+	if len(lits) == 0 {
+		return nil
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if u, ok := rhs.(*ast.UnaryExpr); ok {
+				rhs = ast.Unparen(u.X)
+			}
+			if cl, ok := rhs.(*ast.CompositeLit); ok {
+				for _, have := range lits {
+					if have == cl {
+						litObj[cl] = p.Info.ObjectOf(id)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	for _, cl := range lits {
+		obj := litObj[cl]
+		var cands []candidate
+		annotated := false
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if taintAnnotFields[key.Name] {
+				annotated = true
+			}
+			if taintDataFields[key.Name] && taint.ExprTainted(fn, kv.Value) {
+				cands = append(cands, candidate{pos: kv.Value, field: key.Name})
+			}
+		}
+		if obj != nil {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					base, ok := ast.Unparen(sel.X).(*ast.Ident)
+					if !ok || p.Info.ObjectOf(base) != obj {
+						continue
+					}
+					if taintAnnotFields[sel.Sel.Name] {
+						annotated = true
+					}
+					if taintDataFields[sel.Sel.Name] && i < len(as.Rhs) && taint.ExprTainted(fn, as.Rhs[i]) {
+						cands = append(cands, candidate{pos: as.Rhs[i], field: sel.Sel.Name})
+					}
+				}
+				return true
+			})
+			if !annotated && annotatedViaCall(p, fd, obj) {
+				annotated = true
+			}
+		}
+		if annotated {
+			continue
+		}
+		for _, c := range cands {
+			out = append(out, Finding{Rule: ruleProvenanceTaint, Severity: SeverityError,
+				Pos: p.Fset.Position(c.pos.Pos()),
+				Message: fmt.Sprintf("backend query result flows into Answer.%s but the answer never gains provenance, grounding, or an abstention (P2 Grounding)",
+					c.field)})
+		}
+	}
+	return out
+}
+
+// annotatedViaCall reports whether the answer object is handed to a
+// provenance/ground package function inside the same declaration.
+func annotatedViaCall(p *Package, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isAnnotationFunc(calleeFunc(p, call)) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(p, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

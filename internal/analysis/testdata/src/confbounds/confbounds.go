@@ -1,0 +1,58 @@
+// Package fixture is deliberately broken test input for the
+// confidence-bounds analyzer: confidence constants outside [0,1] and
+// degraded-tier caps that violate the abstention-threshold ordering.
+package fixture
+
+const (
+	// abstainBelow anchors the ladder comparison.
+	abstainBelow = 0.5
+
+	// degradedLowConfidence sits correctly below the threshold.
+	degradedLowConfidence = 0.45
+	// degradedHighConfidence violates the ordering: a degraded answer
+	// would outrank the abstention line.
+	degradedHighConfidence = 0.6
+
+	// badConfidence is outside [0,1] outright.
+	badConfidence = 2.0
+
+	// threshold is not confidence-named and must never be folded.
+	threshold = 3.0
+)
+
+type answer struct {
+	Confidence float64
+	Text       string
+}
+
+// bad1: literal field out of range.
+func bad1() answer {
+	return answer{Confidence: 1.5, Text: "x"}
+}
+
+// bad2: negative assignment after construction.
+func bad2() answer {
+	var a answer
+	a.Confidence = -0.25
+	return a
+}
+
+// badFolded: the type checker folds the expression to 1.5.
+func badFolded() answer {
+	return answer{Confidence: 2 * 0.75}
+}
+
+// good: in-range literal, folded in-range expression, and a
+// non-constant score.
+func good(score float64) answer {
+	a := answer{Confidence: 0.9}
+	a.Confidence = 0.5 + 0.25
+	a.Confidence = score
+	return a
+}
+
+// suppressed documents a deliberate out-of-range sentinel.
+func suppressed() answer {
+	// cdalint:ignore confidence-bounds -- fixture exercises the escape hatch
+	return answer{Confidence: -1}
+}

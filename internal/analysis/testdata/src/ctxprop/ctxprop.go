@@ -1,0 +1,69 @@
+// Package fixture is deliberately broken test input for the
+// ctx-propagation analyzer: functions that mint fresh root contexts
+// outside main/tests, and functions that receive a ctx but fail to
+// forward it.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func process(ctx context.Context, q string) error {
+	_ = ctx
+	_ = q
+	return nil
+}
+
+// bad1 mints a root context with no ctx parameter in scope.
+func bad1(q string) error {
+	return process(context.Background(), q)
+}
+
+// bad2 has a perfectly good ctx and re-roots anyway.
+func bad2(ctx context.Context, q string) error {
+	_ = ctx
+	return process(context.TODO(), q)
+}
+
+var stashed context.Context
+
+// bad3 passes a stored context unrelated to the one it received,
+// breaking the cancellation chain without minting a new root.
+func bad3(ctx context.Context, q string) error {
+	_ = ctx
+	return process(stashed, q)
+}
+
+// goodDirect forwards the parameter.
+func goodDirect(ctx context.Context, q string) error {
+	return process(ctx, q)
+}
+
+// goodDerived forwards a context derived from the parameter.
+func goodDerived(ctx context.Context, q string) error {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return process(sub, q)
+}
+
+// goodChained rebinds through two derivations.
+func goodChained(ctx context.Context, q string) error {
+	c2 := context.WithValue(ctx, struct{}{}, "v")
+	c3, cancel := context.WithCancel(c2)
+	defer cancel()
+	return process(c3, q)
+}
+
+// viaClosure: the closure's own ctx parameter satisfies the forward
+// check, but invoking it with a fresh root is still flagged.
+func viaClosure(q string) error {
+	h := func(ctx context.Context) error { return process(ctx, q) }
+	return h(context.Background())
+}
+
+// suppressed documents a deliberate fresh root.
+func suppressed(q string) error {
+	// cdalint:ignore ctx-propagation -- fixture exercises the escape hatch
+	return process(context.Background(), q)
+}

@@ -1,0 +1,34 @@
+// Package fixture is the regression test for cdalint:ignore
+// directive scoping over multi-line statements: a directive group
+// above a statement that wraps across several lines must cover the
+// whole statement, and must stop covering at the statement's end.
+package fixture
+
+import "time"
+
+func stamp(a, b, c int64) int64 {
+	return a + b + c
+}
+
+// wrapped: the flagged call sits on the third line of the statement
+// following the directive group; before the scoping fix the
+// directive only reached the statement's first line.
+func wrapped() int64 {
+	// cdalint:ignore nondeterminism -- the reason wraps onto a second
+	// line, and the suppressed statement wraps onto three
+	return stamp(1,
+		2,
+		time.Now().UnixNano())
+}
+
+// control: the statement after the covered one must stay flagged —
+// statement-extension must not turn the directive into a block-wide
+// waiver.
+func control() int64 {
+	// cdalint:ignore nondeterminism -- covers only the next statement
+	v := stamp(1,
+		2,
+		time.Now().UnixNano())
+	u := time.Now().UnixNano()
+	return v + u
+}

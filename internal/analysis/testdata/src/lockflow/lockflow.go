@@ -1,0 +1,121 @@
+// Package fixture is deliberately broken test input for the
+// lock-flow analyzer: calls that re-acquire a mutex the caller
+// already holds, directly and through the call graph.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// incr locks its receiver; safe on its own.
+func (c *counter) incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// helper adds one hop between the held region and the lock.
+func (c *counter) helper() {
+	c.incr()
+}
+
+// bad1: calls a locking method while holding the same mutex.
+func (c *counter) bad1() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incr()
+}
+
+// badTransitive: the re-acquisition is two calls deep.
+func (c *counter) badTransitive() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.helper()
+}
+
+// badDirect: re-locks without any call at all.
+func (c *counter) badDirect() {
+	c.mu.Lock()
+	c.mu.Lock()
+	c.n += 2
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// goodAfterRelease: the locking call happens outside the region.
+func (c *counter) goodAfterRelease() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.incr()
+}
+
+// addLocked follows the *Locked convention: callers hold the lock.
+func addLocked(c *counter) {
+	c.n++
+}
+
+// goodLockedHelper: holding the lock around a non-locking helper.
+func goodLockedHelper(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addLocked(c)
+}
+
+// bump locks the counter it receives as a parameter.
+func bump(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// badParam: the held object flows into a parameter-locking function.
+func badParam(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bump(c)
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// get read-locks its receiver.
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// set write-locks its receiver.
+func (t *table) set(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}
+
+// goodReadRead: RLock under RLock is tolerated.
+func (t *table) goodReadRead(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.get(k)
+}
+
+// badUpgrade: write lock under read lock deadlocks.
+func (t *table) badUpgrade(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.set(k, v)
+}
+
+// suppressed documents a site the author vouches for.
+func suppressed(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// cdalint:ignore lock-flow -- fixture exercises the escape hatch
+	bump(c)
+}

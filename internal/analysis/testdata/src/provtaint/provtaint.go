@@ -1,0 +1,66 @@
+// Package fixture is deliberately broken test input for the
+// provenance-taint analyzer: backend query results that reach
+// core.Answer data fields with and without grounding annotation. It
+// uses the real sqldb and core packages so the interprocedural taint
+// engine is exercised against the audited types.
+package fixture
+
+import (
+	"fmt"
+
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/provenance"
+	"github.com/reliable-cda/cda/internal/sqldb"
+)
+
+// bad1 stores a query result directly into the answer text.
+func bad1(eng *sqldb.Engine, q string) *core.Answer {
+	res, err := eng.Query(q)
+	if err != nil {
+		return &core.Answer{Abstained: true}
+	}
+	return &core.Answer{Text: fmt.Sprint(res)}
+}
+
+// render launders the result through a helper; the summary engine
+// sees param→return flow and keeps the taint.
+func render(res *sqldb.Result) string {
+	return fmt.Sprint(res)
+}
+
+// bad2 assigns the laundered result after construction.
+func bad2(eng *sqldb.Engine, q string) *core.Answer {
+	res, _ := eng.Query(q)
+	ans := &core.Answer{}
+	ans.Text = render(res)
+	return ans
+}
+
+// goodAnnotated attaches provenance before returning.
+func goodAnnotated(eng *sqldb.Engine, q string) *core.Answer {
+	res, _ := eng.Query(q)
+	g := provenance.NewGraph()
+	id := g.AddNode(provenance.Node{})
+	ans := &core.Answer{Text: fmt.Sprint(res)}
+	ans.Provenance = g
+	ans.AnswerNode = id
+	return ans
+}
+
+// goodAbstained refuses instead of answering; nothing to ground.
+func goodAbstained() *core.Answer {
+	return &core.Answer{Text: "cannot answer that", Abstained: true}
+}
+
+// goodUntainted builds the text from the question, not from backend
+// data.
+func goodUntainted(q string) *core.Answer {
+	return &core.Answer{Text: "echo: " + q}
+}
+
+// suppressed documents a deliberately unannotated flow.
+func suppressed(eng *sqldb.Engine, q string) *core.Answer {
+	res, _ := eng.Query(q)
+	// cdalint:ignore provenance-taint -- fixture exercises the escape hatch
+	return &core.Answer{Text: fmt.Sprint(res)}
+}

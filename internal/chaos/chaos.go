@@ -96,16 +96,16 @@ func newSwissSystem(sc Scenario) (*core.System, *faults.Injector) {
 // under the scenario's faults. Respond must never return an error on
 // an uncancelled context — outages surface as degraded answers, not
 // failures — so any error here is a harness-level failure.
-func ReplaySwiss(sc Scenario) (*Result, error) {
+func ReplaySwiss(ctx context.Context, sc Scenario) (*Result, error) {
 	sys, inj := newSwissSystem(sc)
-	return replay(sys, inj, SwissTurns())
+	return replay(ctx, sys, inj, SwissTurns())
 }
 
 // ReplayNL2SQL replays n generated workload questions through a
 // system built over the synthetic benchmark tables (no catalog, no
 // documents — the ladder's catalog tier is intentionally empty, the
 // worst case for graceful degradation).
-func ReplayNL2SQL(sc Scenario, n int) (*Result, error) {
+func ReplayNL2SQL(ctx context.Context, sc Scenario, n int) (*Result, error) {
 	clock := resilience.NewVirtualClock()
 	inj := faults.New(faults.Config{
 		Seed:       sc.Seed,
@@ -127,14 +127,14 @@ func ReplayNL2SQL(sc Scenario, n int) (*Result, error) {
 	for _, qa := range w.Pairs {
 		turns = append(turns, qa.Question)
 	}
-	return replay(sys, inj, turns)
+	return replay(ctx, sys, inj, turns)
 }
 
-func replay(sys *core.System, inj *faults.Injector, turns []string) (*Result, error) {
+func replay(ctx context.Context, sys *core.System, inj *faults.Injector, turns []string) (*Result, error) {
 	sess := sys.NewSession()
 	res := &Result{Turns: turns}
 	for i, turn := range turns {
-		ans, err := sys.Respond(context.Background(), sess, turn)
+		ans, err := sys.Respond(ctx, sess, turn)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: turn %d %q: %w", i, turn, err)
 		}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ var sweepRates = []float64{0.05, 0.2, 0.5}
 
 func mustSwiss(t *testing.T, sc Scenario) *Result {
 	t.Helper()
-	res, err := ReplaySwiss(sc)
+	res, err := ReplaySwiss(context.Background(), sc)
 	if err != nil {
 		t.Fatalf("ReplaySwiss(%+v): %v", sc, err)
 	}
@@ -23,7 +24,7 @@ func mustSwiss(t *testing.T, sc Scenario) *Result {
 
 func mustNL2SQL(t *testing.T, sc Scenario, n int) *Result {
 	t.Helper()
-	res, err := ReplayNL2SQL(sc, n)
+	res, err := ReplayNL2SQL(context.Background(), sc, n)
 	if err != nil {
 		t.Fatalf("ReplayNL2SQL(%+v): %v", sc, err)
 	}

@@ -153,10 +153,17 @@ type System struct {
 	rng            *rand.Rand
 }
 
+// DefaultAbstainBelow is the abstention threshold used when the
+// config leaves AbstainBelow zero. The graceful-degradation ladder's
+// confidence caps (ladder.go) must stay below it so a degraded answer
+// never outranks the abstention line; cdalint's confidence-bounds
+// rule checks that relationship.
+const DefaultAbstainBelow = 0.5
+
 // New builds a System from the config.
 func New(cfg Config) *System {
 	if cfg.AbstainBelow == 0 {
-		cfg.AbstainBelow = 0.5
+		cfg.AbstainBelow = DefaultAbstainBelow
 	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 256

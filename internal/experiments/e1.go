@@ -28,8 +28,10 @@ type E1Turn struct {
 	Properties []string // e.g. "P2 grounding", "P4 provenance"
 }
 
-// RunE1 replays the dialogue on a fresh Swiss domain.
-func RunE1(seed int64) (*E1Result, error) {
+// RunE1 replays the dialogue on a fresh Swiss domain. The context
+// bounds the whole replay; pass the caller's ctx so cancellation
+// reaches every turn.
+func RunE1(ctx context.Context, seed int64) (*E1Result, error) {
 	d := workload.NewSwissDomain(seed)
 	sys := core.New(core.Config{
 		DB: d.DB, Catalog: d.Catalog, KG: d.KG, Vocab: d.Vocab, Documents: d.Documents, Now: d.Now, Seed: seed,
@@ -37,7 +39,7 @@ func RunE1(seed int64) (*E1Result, error) {
 	sess := sys.NewSession()
 	res := &E1Result{AllLossless: true}
 	for i, turn := range workload.Figure1Turns() {
-		ans, err := sys.Respond(context.Background(), sess, turn)
+		ans, err := sys.Respond(ctx, sess, turn)
 		if err != nil {
 			return nil, fmt.Errorf("turn %d: %w", i+1, err)
 		}

@@ -30,8 +30,9 @@ func goalReached(ans *core.Answer) bool {
 	return ans != nil && !ans.Abstained && strings.Contains(ans.Text, "seasonal period")
 }
 
-// RunE6 simulates guided and unguided user sessions.
-func RunE6(sessions, turnBudget int, seed int64) (*E6Result, error) {
+// RunE6 simulates guided and unguided user sessions under the
+// caller's context.
+func RunE6(ctx context.Context, sessions, turnBudget int, seed int64) (*E6Result, error) {
 	res := &E6Result{Sessions: sessions, TurnBudget: turnBudget}
 
 	// The guided user starts from the same vague opening and then
@@ -73,7 +74,7 @@ func RunE6(sessions, turnBudget int, seed int64) (*E6Result, error) {
 		var last *core.Answer
 		for turns < turnBudget {
 			turns++
-			ans, err := sys.Respond(context.Background(), sess, guidedPolicy(last))
+			ans, err := sys.Respond(ctx, sess, guidedPolicy(last))
 			if err != nil {
 				return nil, err
 			}
@@ -99,7 +100,7 @@ func RunE6(sessions, turnBudget int, seed int64) (*E6Result, error) {
 		for turns < turnBudget {
 			turns++
 			u := randomPool[rng.Intn(len(randomPool))]
-			ans, err := sys2.Respond(context.Background(), sess2, u)
+			ans, err := sys2.Respond(ctx, sess2, u)
 			if err != nil {
 				return nil, err
 			}

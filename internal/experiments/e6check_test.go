@@ -1,9 +1,13 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+
+	"testing"
+)
 
 func TestE6UnguidedEventuallySucceeds(t *testing.T) {
-	r, err := RunE6(30, 8, 1)
+	r, err := RunE6(context.Background(), 30, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

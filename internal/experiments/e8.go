@@ -57,8 +57,9 @@ type E8Result struct {
 	Rows  []E8Row
 }
 
-// RunE8 measures each ablation over the swiss question set.
-func RunE8(noise float64, seed int64) (*E8Result, error) {
+// RunE8 measures each ablation over the swiss question set under
+// the caller's context.
+func RunE8(ctx context.Context, noise float64, seed int64) (*E8Result, error) {
 	res := &E8Result{Noise: noise}
 	configs := []struct {
 		name   string
@@ -71,7 +72,7 @@ func RunE8(noise float64, seed int64) (*E8Result, error) {
 		{"- guidance (P5 off)", func(c *core.Config) { c.DisableGuidance = true }},
 	}
 	for _, cf := range configs {
-		row, err := runE8Config(cf.name, cf.mutate, noise, seed)
+		row, err := runE8Config(ctx, cf.name, cf.mutate, noise, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +81,7 @@ func RunE8(noise float64, seed int64) (*E8Result, error) {
 	return res, nil
 }
 
-func runE8Config(name string, mutate func(*core.Config), noise float64, seed int64) (*E8Row, error) {
+func runE8Config(ctx context.Context, name string, mutate func(*core.Config), noise float64, seed int64) (*E8Row, error) {
 	d := workload.NewSwissDomain(seed)
 	cfg := core.Config{
 		DB: d.DB, Catalog: d.Catalog, KG: d.KG, Vocab: d.Vocab, Documents: d.Documents, Now: d.Now,
@@ -97,7 +98,7 @@ func runE8Config(name string, mutate func(*core.Config), noise float64, seed int
 	start := time.Now()
 	for _, qa := range swissQuestions {
 		sess := sys.NewSession()
-		ans, err := sys.Respond(context.Background(), sess, qa.question)
+		ans, err := sys.Respond(ctx, sess, qa.question)
 		if err != nil {
 			return nil, err
 		}

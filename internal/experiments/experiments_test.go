@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestRunE1ReproducesFigure1(t *testing.T) {
-	r, err := RunE1(1)
+	r, err := RunE1(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestRunE5CalibrationShapes(t *testing.T) {
 }
 
 func TestRunE6GuidanceWins(t *testing.T) {
-	r, err := RunE6(6, 6, 3)
+	r, err := RunE6(context.Background(), 6, 6, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestRunE7Ladder(t *testing.T) {
 }
 
 func TestRunE8Interplay(t *testing.T) {
-	r, err := RunE8(0.15, 5)
+	r, err := RunE8(context.Background(), 0.15, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestRunE2SweepScaling(t *testing.T) {
 }
 
 func TestRunScorecard(t *testing.T) {
-	sc, err := RunScorecard(5)
+	sc, err := RunScorecard(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}

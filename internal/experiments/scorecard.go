@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/reliable-cda/cda/internal/workload"
@@ -33,7 +35,7 @@ type Scorecard struct {
 
 // RunScorecard computes all five property scores on reduced-size
 // workloads (it re-runs E2–E7 internals; expect a few seconds).
-func RunScorecard(seed int64) (*Scorecard, error) {
+func RunScorecard(ctx context.Context, seed int64) (*Scorecard, error) {
 	sc := &Scorecard{}
 
 	// P1 from E2.
@@ -82,7 +84,7 @@ func RunScorecard(seed int64) (*Scorecard, error) {
 	sc.P4Soundness = clampScore(1 - full.WrongRate)
 
 	// P5 from E6.
-	e6, err := RunE6(10, 6, seed)
+	e6, err := RunE6(ctx, 10, 6, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -161,6 +161,8 @@ func (in *Injector) Inject(op string) error {
 		// under a VirtualClock, real under a WallClock. The sleep is
 		// not cancellable here because backend hook signatures carry
 		// no context; deadline enforcement happens a layer up.
+		// cdalint:ignore ctx-propagation -- backend hooks are
+		// context-free by design; see the note above.
 		if err := in.clock.Sleep(context.Background(), in.cfg.Latency); err != nil {
 			return err
 		}

@@ -51,7 +51,7 @@ func BenchmarkResilienceChaosReplay(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := chaos.ReplaySwiss(sc); err != nil {
+		if _, err := chaos.ReplaySwiss(context.Background(), sc); err != nil {
 			b.Fatal(err)
 		}
 	}

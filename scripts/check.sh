@@ -7,6 +7,13 @@
 #   3. cdalint       — the repo's own reliability analyzers
 #                      (dropped-error, nondeterminism, unannotated-answer,
 #                       mutex-hygiene, map-order-leak, bare-panic, raw-sleep)
+#                      plus the interprocedural dataflow rules
+#                      (ctx-propagation, provenance-taint,
+#                       confidence-bounds, lock-flow), which run over the
+#                      module-wide call graph. The analysis itself runs
+#                      under a 60-second budget (compile time excluded):
+#                      if whole-module analysis ever exceeds it, the gate
+#                      fails rather than silently slowing every CI run.
 #   4. determinism   — the serial-vs-parallel equality property tests,
 #                      run under -race (parallel operators must return
 #                      byte-identical results AND be race-clean)
@@ -33,8 +40,11 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> cdalint ./..."
-go run ./cmd/cdalint ./...
+echo "==> cdalint ./... (60s analysis budget)"
+CDALINT_BIN="$(mktemp -d)/cdalint"
+trap 'rm -rf "$(dirname "$CDALINT_BIN")"' EXIT
+go build -o "$CDALINT_BIN" ./cmd/cdalint
+timeout 60 "$CDALINT_BIN" ./...
 
 echo "==> determinism property tests (-race)"
 go test -race \
@@ -50,5 +60,8 @@ go test -race ./...
 
 echo "==> parallel + resilience benchmark smoke (1 iteration)"
 go test -run='^$' -bench='^Benchmark(Parallel|Resilience)' -benchtime=1x .
+
+echo "==> cdalint whole-module benchmark smoke (1 iteration)"
+go test -run='^$' -bench='^BenchmarkCdalint$' -benchtime=1x ./internal/analysis
 
 echo "check.sh: all gates passed"
