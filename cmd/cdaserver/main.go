@@ -5,6 +5,13 @@
 // Usage:
 //
 //	cdaserver [-addr :8080] [-seed 1] [-noise 0.05] [-csv a.csv,b.csv]
+//	          [-data-dir ./data] [-session-ttl 30m] [-shards 8]
+//	          [-snapshot-every 256] [-max-inflight 64] [-rate 0] [-burst 0]
+//
+// With -data-dir, sessions are durable: every committed turn is
+// WAL-logged before the response is acknowledged, and a restarted
+// server replays the directory to serve the same transcripts
+// byte-for-byte. Without it, sessions live in memory only.
 //
 // Example session:
 //
@@ -27,9 +34,12 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/reliable-cda/cda/internal/admission"
 	"github.com/reliable-cda/cda/internal/catalog"
 	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/resilience"
 	"github.com/reliable-cda/cda/internal/server"
+	"github.com/reliable-cda/cda/internal/sessionstore"
 	"github.com/reliable-cda/cda/internal/storage"
 	"github.com/reliable-cda/cda/internal/workload"
 )
@@ -39,6 +49,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	noise := flag.Float64("noise", 0.05, "simulated LLM hallucination rate")
 	csvs := flag.String("csv", "", "comma-separated CSV files to serve instead of the Swiss demo domain")
+	dataDir := flag.String("data-dir", "", "directory for durable session state (empty: in-memory sessions)")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0: never)")
+	shards := flag.Int("shards", 8, "session store shard count (rounded up to a power of two)")
+	snapshotEvery := flag.Int("snapshot-every", 256, "compact each shard's WAL into a snapshot every N records")
+	maxInflight := flag.Int("max-inflight", 64, "per-shard concurrent ask limit (negative: unlimited)")
+	rate := flag.Float64("rate", 0, "per-shard admitted asks per second (0: unlimited)")
+	burst := flag.Float64("burst", 0, "token-bucket burst size (0: max(rate,1))")
 	flag.Parse()
 
 	var cfg core.Config
@@ -74,7 +91,35 @@ func main() {
 	cfg.Seed = *seed
 	cfg.HallucinationRate = *noise
 
-	srv := server.New(core.New(cfg), cat, now)
+	clock := resilience.NewWallClock()
+	storeCfg := sessionstore.Config{
+		Shards:        *shards,
+		SnapshotEvery: *snapshotEvery,
+		TTL:           *sessionTTL,
+		Clock:         clock,
+	}
+	var store *sessionstore.Store
+	if *dataDir == "" {
+		store = sessionstore.NewMemory(storeCfg)
+	} else {
+		storeCfg.Dir = *dataDir
+		st, err := sessionstore.Open(storeCfg)
+		if err != nil {
+			log.Fatalf("cdaserver: open session store: %v", err)
+		}
+		store = st
+		log.Printf("cdaserver: durable sessions in %s (%d shards, snapshot every %d)",
+			*dataDir, *shards, *snapshotEvery)
+	}
+	adm := admission.New(admission.Config{
+		Shards:      *shards,
+		MaxInflight: *maxInflight,
+		Rate:        *rate,
+		Burst:       *burst,
+		Clock:       clock,
+	})
+
+	srv := server.NewWithOptions(core.New(cfg), cat, now, server.Options{Store: store, Admission: adm})
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),
@@ -84,6 +129,36 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Idle sweeper: evict sessions past the TTL so tombstones are
+	// durable (a lazily evicted session would otherwise only tombstone
+	// when next touched).
+	sweepDone := make(chan struct{})
+	var sweepStop func()
+	if *sessionTTL > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		sweepStop = cancel
+		tick := time.NewTicker(*sessionTTL / 4)
+		go func() {
+			defer close(sweepDone)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if n, err := store.SweepIdle(); err != nil {
+						log.Printf("cdaserver: idle sweep: %v", err)
+					} else if n > 0 {
+						log.Printf("cdaserver: evicted %d idle sessions", n)
+					}
+				}
+			}
+		}()
+	} else {
+		close(sweepDone)
+		sweepStop = func() {}
 	}
 
 	errc := make(chan error, 1)
@@ -108,6 +183,14 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("cdaserver: serve: %v", err)
+		}
+		sweepStop()
+		<-sweepDone
+		// Close after the drain: every acknowledged turn is already in
+		// the WAL; Close compacts shards and surfaces any deferred
+		// compaction error.
+		if err := store.Close(); err != nil {
+			log.Printf("cdaserver: close session store: %v", err)
 		}
 	}
 }

@@ -159,8 +159,8 @@ func renderTranscript(res *Result, inj *faults.Injector) string {
 	}
 	for _, op := range inj.Ops() {
 		c := res.Faults[op]
-		fmt.Fprintf(&sb, "faults %s: calls=%d errors=%d latencies=%d corrupted=%d\n",
-			op, c.Calls, c.Errors, c.Latencies, c.Corrupted)
+		fmt.Fprintf(&sb, "faults %s: calls=%d errors=%d latencies=%d corrupted=%d crashed=%d\n",
+			op, c.Calls, c.Errors, c.Latencies, c.Corrupted, c.Crashes)
 	}
 	for _, name := range sortedKeys(res.Breakers) {
 		fmt.Fprintf(&sb, "breaker %s: %s\n", name, res.Breakers[name])

@@ -1,0 +1,213 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/dialogue"
+	"github.com/reliable-cda/cda/internal/faults"
+	"github.com/reliable-cda/cda/internal/sessionstore"
+)
+
+// KillRecoverScenario configures one deterministic kill-and-recover
+// replay: a Figure 1 dialogue runs through a durable session store,
+// the process is "killed" (the store is abandoned un-closed, possibly
+// mid-append via an injected torn write), a fresh store recovers the
+// directory, and the dialogue finishes on the recovered state. The
+// whole run — fault draws, kill point, recovered bytes — is a pure
+// function of the seed, so two runs of one scenario must render
+// byte-identical transcripts (the crash-recovery determinism gate in
+// scripts/check.sh diffs exactly that).
+type KillRecoverScenario struct {
+	// Seed drives the domain, the system, and every fault draw.
+	Seed int64
+	// Rates are backend fault probabilities during turns (the
+	// degradation ladder keeps answering under them).
+	Rates faults.Rates
+	// CrashRate is the probability each WAL append is torn mid-write,
+	// killing the process at that exact byte (op "wal.append").
+	CrashRate float64
+	// KillAfter is the number of user turns attempted before the
+	// planned kill (default: half the dialogue). An injected torn
+	// write may kill earlier.
+	KillAfter int
+	// Dir is the store's data directory (the caller provides a fresh
+	// temp dir; two runs of one scenario use two dirs and must still
+	// render identical transcripts — the path never enters the render).
+	Dir string
+	// SnapshotEvery is the store's compaction cadence (default 4, low
+	// enough that recovery exercises snapshot + WAL replay, not just
+	// the WAL).
+	SnapshotEvery int
+}
+
+// KillRecoverResult bundles one replay's outputs.
+type KillRecoverResult struct {
+	SessionID string
+	// Committed is the number of user turns durably committed before
+	// the kill (== KillAfter unless a torn write killed earlier).
+	Committed int
+	// Killed reports whether an injected torn write cut the run short.
+	Killed bool
+	// PreCrash is the canonical transcript at the moment of the kill —
+	// committed turns only; a rolled-back torn turn never appears.
+	PreCrash string
+	// Recovered is the transcript the reopened store serves. The
+	// recovery contract: Recovered == PreCrash, byte for byte.
+	Recovered string
+	// Final is the transcript after the recovered process finished the
+	// remaining turns.
+	Final string
+	// Transcript is the canonical rendering of the whole run for
+	// determinism diffing.
+	Transcript string
+}
+
+// KillRecover runs one scenario. Errors are harness failures (the
+// scenario could not run), never assertions about recovery — tests
+// make those on the result.
+func KillRecover(ctx context.Context, sc KillRecoverScenario) (*KillRecoverResult, error) {
+	if sc.Dir == "" {
+		return nil, errors.New("chaos: KillRecover needs a data dir")
+	}
+	turns := SwissTurns()
+	if sc.KillAfter <= 0 || sc.KillAfter > len(turns) {
+		sc.KillAfter = len(turns) / 2
+	}
+	if sc.SnapshotEvery <= 0 {
+		sc.SnapshotEvery = 4
+	}
+	res := &KillRecoverResult{}
+
+	// Phase 1: the doomed process. One injector drives backend faults
+	// and WAL torn writes from one seeded stream.
+	sys, inj := newSwissSystem(Scenario{
+		Seed:       sc.Seed,
+		Rates:      sc.Rates,
+		PerBackend: map[string]faults.Rates{"wal": {Crash: sc.CrashRate}},
+	})
+	st, err := sessionstore.Open(sessionstore.Config{
+		Dir: sc.Dir, Shards: 4, SnapshotEvery: sc.SnapshotEvery, Faults: inj,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: open store: %w", err)
+	}
+	entry, err := st.NewSession()
+	switch {
+	case errors.Is(err, sessionstore.ErrCrashed):
+		// Killed while logging the session's creation: nothing durable.
+		res.Killed = true
+	case err != nil:
+		return nil, fmt.Errorf("chaos: create session: %w", err)
+	default:
+		res.SessionID = entry.ID
+	}
+	for i := 0; !res.Killed && i < sc.KillAfter; i++ {
+		doErr := entry.Do(func(sess *dialogue.Session) error {
+			if _, rerr := sys.Respond(ctx, sess, turns[i]); rerr != nil {
+				return fmt.Errorf("chaos: turn %d %q: %w", i, turns[i], rerr)
+			}
+			return st.CommitTurn(entry)
+		})
+		if errors.Is(doErr, sessionstore.ErrCrashed) {
+			// The torn write killed the process; the store rolled the
+			// in-memory pair back to the durable prefix.
+			res.Killed = true
+			break
+		}
+		if doErr != nil {
+			return nil, doErr
+		}
+		res.Committed++
+	}
+	if entry != nil {
+		transcriptErr := entry.Do(func(sess *dialogue.Session) error {
+			res.PreCrash = sessionstore.Transcript(sess)
+			return nil
+		})
+		if transcriptErr != nil {
+			return nil, transcriptErr
+		}
+	}
+	// The kill: st is abandoned — never Closed, never compacted.
+
+	// Phase 2: recovery. A fresh process opens the directory; torn
+	// tails truncate, snapshots replay, tombstones hold.
+	st2, err := sessionstore.Open(sessionstore.Config{
+		Dir: sc.Dir, Shards: 4, SnapshotEvery: sc.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: recover store: %w", err)
+	}
+	entry2 := (*sessionstore.Entry)(nil)
+	if res.SessionID != "" {
+		e, status := st2.Get(res.SessionID)
+		if status != sessionstore.Found {
+			return nil, fmt.Errorf("chaos: recovered store lost session %s (status %v)", res.SessionID, status)
+		}
+		entry2 = e
+		recErr := entry2.Do(func(sess *dialogue.Session) error {
+			res.Recovered = sessionstore.Transcript(sess)
+			return nil
+		})
+		if recErr != nil {
+			return nil, recErr
+		}
+	} else {
+		// Creation itself was killed: the recovered process starts the
+		// conversation from scratch.
+		e, nerr := st2.NewSession()
+		if nerr != nil {
+			return nil, fmt.Errorf("chaos: recreate session: %w", nerr)
+		}
+		entry2 = e
+		res.SessionID = e.ID
+	}
+
+	// Phase 3: the recovered process finishes the dialogue. Same seed
+	// rebuilds the system deterministically (a real restart loses rng
+	// position the same way); WAL crashes are off — this process
+	// survives.
+	sys2, inj2 := newSwissSystem(Scenario{Seed: sc.Seed, Rates: sc.Rates})
+	for i := res.Committed; i < len(turns); i++ {
+		doErr := entry2.Do(func(sess *dialogue.Session) error {
+			if _, rerr := sys2.Respond(ctx, sess, turns[i]); rerr != nil {
+				return fmt.Errorf("chaos: recovered turn %d %q: %w", i, turns[i], rerr)
+			}
+			return st2.CommitTurn(entry2)
+		})
+		if doErr != nil {
+			return nil, doErr
+		}
+	}
+	finalErr := entry2.Do(func(sess *dialogue.Session) error {
+		res.Final = sessionstore.Transcript(sess)
+		return nil
+	})
+	if finalErr != nil {
+		return nil, finalErr
+	}
+	if err := st2.Close(); err != nil {
+		return nil, fmt.Errorf("chaos: close recovered store: %w", err)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "killafter=%d committed=%d killed=%t session=%s\n",
+		sc.KillAfter, res.Committed, res.Killed, res.SessionID)
+	fmt.Fprintf(&sb, "--- pre-crash\n%s--- recovered\n%s--- final\n%s", res.PreCrash, res.Recovered, res.Final)
+	for _, phase := range []struct {
+		name string
+		inj  *faults.Injector
+	}{{"doomed", inj}, {"recovered", inj2}} {
+		counts := phase.inj.Snapshot()
+		for _, op := range phase.inj.Ops() {
+			c := counts[op]
+			fmt.Fprintf(&sb, "faults[%s] %s: calls=%d errors=%d latencies=%d corrupted=%d crashed=%d\n",
+				phase.name, op, c.Calls, c.Errors, c.Latencies, c.Corrupted, c.Crashes)
+		}
+	}
+	res.Transcript = sb.String()
+	return res, nil
+}

@@ -133,3 +133,22 @@ func TestContextTerms(t *testing.T) {
 		t.Errorf("n=1 context leaked older turn: %v", terms)
 	}
 }
+
+func TestRoleIntentRoundTrip(t *testing.T) {
+	for _, r := range []Role{RoleUser, RoleSystem} {
+		if got := ParseRole(r.String()); got != r {
+			t.Errorf("ParseRole(%q) = %v, want %v", r.String(), got, r)
+		}
+	}
+	intents := []Intent{IntentUnknown, IntentDiscover, IntentDescribe, IntentChoose,
+		IntentAnalyze, IntentQuery, IntentConfirm, IntentFollowUp}
+	for _, i := range intents {
+		if got := ParseIntent(i.String()); got != i {
+			t.Errorf("ParseIntent(%q) = %v, want %v", i.String(), got, i)
+		}
+	}
+	// Garbage degrades to the default arms, never panics.
+	if ParseRole("alien") != RoleSystem || ParseIntent("alien") != IntentUnknown {
+		t.Error("unrecognized names must parse to the default arms")
+	}
+}

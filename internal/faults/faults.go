@@ -38,6 +38,11 @@ type Rates struct {
 	// Corrupt is the probability a corruption-capable operation has
 	// its payload corrupted (e.g. the NL model's token stream).
 	Corrupt float64
+	// Crash is the probability a durable append is torn mid-write
+	// (TornWrite): the write stops at a seeded cut point and the
+	// process is considered dead. The session store's WAL uses this to
+	// property-test crash recovery against torn tails.
+	Crash float64
 }
 
 // Config assembles an Injector.
@@ -60,6 +65,7 @@ type Counts struct {
 	Errors    int64
 	Latencies int64
 	Corrupted int64
+	Crashes   int64
 }
 
 // InjectedError is the transient failure the injector produces,
@@ -183,6 +189,30 @@ func (in *Injector) Corrupt(op string) bool {
 		return true
 	}
 	return false
+}
+
+// TornWrite applies a crash fault to a pending durable append: when
+// the fault fires it returns the prefix of b that "reached disk"
+// before the simulated process death (possibly empty) and true; the
+// writer must persist exactly that prefix and then report the crash
+// upward. Otherwise b is returned unchanged with false. One rng draw
+// decides the fault, a second (only when it fires) picks the cut
+// point, so the fault stream stays seed-aligned.
+func (in *Injector) TornWrite(op string, b []byte) ([]byte, bool) {
+	r := in.rates(op)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c := in.count(op)
+	c.Calls++
+	if in.rng.Float64() >= r.Crash {
+		return b, false
+	}
+	c.Crashes++
+	cut := 0
+	if len(b) > 0 {
+		cut = in.rng.Intn(len(b))
+	}
+	return b[:cut], true
 }
 
 // CorruptTokens applies a corruption fault to a token sequence: when

@@ -117,3 +117,50 @@ func TestCorruptTokens(t *testing.T) {
 		t.Fatalf("rate-0 corruption must be identity, got %v", got)
 	}
 }
+
+func TestTornWriteDeterministic(t *testing.T) {
+	run := func() (cuts []int, fired int) {
+		in := New(Config{Seed: 7, Default: Rates{Crash: 0.5}}, nil)
+		payload := []byte("0123456789abcdef")
+		for i := 0; i < 50; i++ {
+			got, crashed := in.TornWrite("wal.append", payload)
+			if !crashed {
+				if len(got) != len(payload) {
+					t.Fatalf("clean write truncated to %d bytes", len(got))
+				}
+				cuts = append(cuts, -1)
+				continue
+			}
+			fired++
+			if len(got) >= len(payload) {
+				t.Fatalf("crash fault left a complete write (%d bytes)", len(got))
+			}
+			cuts = append(cuts, len(got))
+		}
+		if c := in.Snapshot()["wal.append"]; c.Crashes != int64(fired) || c.Calls != 50 {
+			t.Fatalf("counts = %+v, want crashes=%d calls=50", c, fired)
+		}
+		return cuts, fired
+	}
+	a, firedA := run()
+	b, firedB := run()
+	if firedA == 0 || firedA == 50 {
+		t.Fatalf("crash rate 0.5 fired %d/50 times", firedA)
+	}
+	if firedA != firedB {
+		t.Fatalf("fired %d vs %d across identical runs", firedA, firedB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cut %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTornWriteZeroRatePassesThrough(t *testing.T) {
+	in := New(Config{Seed: 1}, nil)
+	b, crashed := in.TornWrite("wal.append", []byte("abc"))
+	if crashed || string(b) != "abc" {
+		t.Fatalf("TornWrite = %q, %t", b, crashed)
+	}
+}

@@ -4,13 +4,23 @@
 // provenance summary, suggestions) so downstream UIs can render the
 // reliability signals, not just the text.
 //
+// Sessions live in a durable sharded store (internal/sessionstore):
+// every committed turn pair is WAL-logged before the response leaves,
+// so transcripts survive a crash and a restarted server resumes the
+// same conversations. Requests pass an admission controller
+// (internal/admission) before any work is done; an overloaded shard
+// sheds with 429 + Retry-After while already-admitted turns complete.
+//
 // Endpoints:
 //
-//	GET  /health               liveness probe
-//	GET  /datasets             catalog listing with freshness
-//	POST /sessions             create a conversation; returns {"id": ...}
-//	POST /sessions/{id}/ask    {"question": "..."} → annotated answer
-//	GET  /sessions/{id}        session transcript
+//	GET  /health                             liveness probe
+//	GET  /datasets                           catalog listing with freshness
+//	POST /sessions                           create a conversation; returns {"id": ...}
+//	POST /sessions/{id}/ask                  {"question": "..."} → annotated answer
+//	GET  /sessions/{id}?offset=&limit=       paginated session transcript
+//
+// Session lookups distinguish 404 (never existed) from 410 (evicted
+// after sitting idle past the TTL).
 package server
 
 import (
@@ -20,38 +30,63 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 
+	"github.com/reliable-cda/cda/internal/admission"
 	"github.com/reliable-cda/cda/internal/catalog"
 	"github.com/reliable-cda/cda/internal/core"
 	"github.com/reliable-cda/cda/internal/dialogue"
+	"github.com/reliable-cda/cda/internal/sessionstore"
 )
 
-// Server wraps a core.System with HTTP session management. Safe for
-// concurrent use; each session is individually locked because the
-// dialogue state is mutable.
+// Transcript pagination bounds: the default page keeps huge
+// transcripts from serializing in one response; the max stops a
+// client from asking for one anyway.
+const (
+	DefaultPageLimit = 100
+	MaxPageLimit     = 1000
+)
+
+// Server wraps a core.System with HTTP session management over the
+// durable store. Safe for concurrent use; turns within one session
+// are serialized by the store's per-session lock.
 type Server struct {
-	sys *core.System
-	cat *catalog.Catalog
-	now int
-
-	mu       sync.Mutex
-	sessions map[string]*sessionEntry
-	nextID   int
+	sys   *core.System
+	cat   *catalog.Catalog
+	now   int
+	store *sessionstore.Store
+	adm   *admission.Controller
 }
 
-type sessionEntry struct {
-	mu   sync.Mutex
-	sess *dialogue.Session
+// Options wires durability and overload protection into a server.
+type Options struct {
+	// Store holds the sessions; nil gets a fresh memory-only store
+	// (nothing survives restart — the pre-durability behaviour).
+	Store *sessionstore.Store
+	// Admission gates requests; nil admits everything.
+	Admission *admission.Controller
 }
 
-// New creates a server over an assembled system. cat may be nil when
-// the deployment has no catalog.
+// New creates a memory-only server over an assembled system. cat may
+// be nil when the deployment has no catalog.
 func New(sys *core.System, cat *catalog.Catalog, now int) *Server {
-	return &Server{sys: sys, cat: cat, now: now, sessions: map[string]*sessionEntry{}}
+	return NewWithOptions(sys, cat, now, Options{})
 }
+
+// NewWithOptions creates a server with an explicit session store and
+// admission controller.
+func NewWithOptions(sys *core.System, cat *catalog.Catalog, now int, opts Options) *Server {
+	st := opts.Store
+	if st == nil {
+		st = sessionstore.NewMemory(sessionstore.Config{})
+	}
+	return &Server{sys: sys, cat: cat, now: now, store: st, adm: opts.Admission}
+}
+
+// Store exposes the session store (shutdown hooks and tests).
+func (s *Server) Store() *sessionstore.Store { return s.store }
 
 // Handler returns the HTTP handler with all routes registered.
 func (s *Server) Handler() http.Handler {
@@ -110,20 +145,54 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleCreateSession(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("s%04d", s.nextID)
-	s.sessions[id] = &sessionEntry{sess: s.sys.NewSession()}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+// admit runs the request through the admission controller, writing
+// the 429 + Retry-After shed response itself. The returned release
+// must be called when the request finishes; admitted is false when
+// the request was shed (or a non-overload admission failure was
+// reported as 500).
+func (s *Server) admit(w http.ResponseWriter, shard int) (release func(), admitted bool) {
+	if s.adm == nil {
+		return func() {}, true
+	}
+	release, err := s.adm.Admit(shard)
+	if err == nil {
+		return release, true
+	}
+	var ov *admission.Overload
+	if errors.As(err, &ov) {
+		w.Header().Set("Retry-After", admission.RetryAfterSeconds(ov.RetryAfter))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("overloaded (%s limit on shard %d); retry after the indicated delay", ov.Reason, ov.Shard))
+		return nil, false
+	}
+	writeError(w, http.StatusInternalServerError, "admission failed")
+	return nil, false
 }
 
-func (s *Server) session(id string) (*sessionEntry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.sessions[id]
-	return e, ok
+func (s *Server) handleCreateSession(w http.ResponseWriter, _ *http.Request) {
+	entry, err := s.store.NewSession()
+	if err != nil {
+		reqID := fmt.Sprintf("req-%06d", reqCounter.Add(1))
+		log.Printf("server: creating session failed [%s]: %v", reqID, err)
+		writeError(w, http.StatusInternalServerError, "internal error (reference "+reqID+")")
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": entry.ID})
+}
+
+// lookup resolves a session id, writing the 404/410 error response
+// itself when the session is missing or evicted.
+func (s *Server) lookup(w http.ResponseWriter, id string) (*sessionstore.Entry, bool) {
+	entry, status := s.store.Get(id)
+	switch status {
+	case sessionstore.NotFound:
+		writeError(w, http.StatusNotFound, "unknown session")
+		return nil, false
+	case sessionstore.Gone:
+		writeError(w, http.StatusGone, "session evicted after idling past the server's TTL; start a new session")
+		return nil, false
+	}
+	return entry, true
 }
 
 // AskRequest is the question payload.
@@ -153,9 +222,16 @@ type AskResponse struct {
 var reqCounter atomic.Int64
 
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.session(r.PathValue("id"))
+	id := r.PathValue("id")
+	// Shed BEFORE any work: no body decode, no session lock, no
+	// backend calls happen for a rejected request.
+	release, admitted := s.admit(w, s.store.ShardIndex(id))
+	if !admitted {
+		return
+	}
+	defer release()
+	entry, ok := s.lookup(w, id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session")
 		return
 	}
 	var req AskRequest
@@ -167,9 +243,20 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "question must not be empty")
 		return
 	}
-	entry.mu.Lock()
-	ans, err := s.sys.Respond(r.Context(), entry.sess, req.Question)
-	entry.mu.Unlock()
+	var ans *core.Answer
+	err := entry.Do(func(sess *dialogue.Session) error {
+		a, rerr := s.sys.Respond(r.Context(), sess, req.Question)
+		if rerr != nil {
+			return rerr
+		}
+		ans = a
+		// Durability before acknowledgement: the turn pair Respond just
+		// committed to the transcript is WAL-logged here; on failure the
+		// store rolls the pair back, so memory, disk, and the client's
+		// view of the transcript always agree (the client simply
+		// re-asks).
+		return s.store.CommitTurn(entry)
+	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The client went away or the request deadline passed; the
@@ -182,7 +269,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		// must not leak to clients: log them server-side under a
 		// request ID and return only the reference.
 		reqID := fmt.Sprintf("req-%06d", reqCounter.Add(1))
-		log.Printf("server: ask on session %s failed [%s]: %v", r.PathValue("id"), reqID, err)
+		log.Printf("server: ask on session %s failed [%s]: %v", id, reqID, err)
 		writeError(w, http.StatusInternalServerError, "internal error (reference "+reqID+")")
 		return
 	}
@@ -210,21 +297,67 @@ type TranscriptTurn struct {
 	Confidence float64 `json:"confidence,omitempty"`
 }
 
+// TranscriptPage is the paginated transcript envelope: Turns holds
+// the [Offset, Offset+Limit) window of a Total-turn transcript.
+type TranscriptPage struct {
+	Turns  []TranscriptTurn `json:"turns"`
+	Total  int              `json:"total"`
+	Offset int              `json:"offset"`
+	Limit  int              `json:"limit"`
+}
+
+// pageParams parses ?offset=&limit= with stable defaults (0,
+// DefaultPageLimit). Malformed or negative values are a client error.
+func pageParams(r *http.Request) (offset, limit int, err error) {
+	offset, limit = 0, DefaultPageLimit
+	if v := r.URL.Query().Get("offset"); v != "" {
+		offset, err = strconv.Atoi(v)
+		if err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("offset must be a non-negative integer, got %q", v)
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 1 {
+			return 0, 0, fmt.Errorf("limit must be a positive integer, got %q", v)
+		}
+	}
+	if limit > MaxPageLimit {
+		limit = MaxPageLimit
+	}
+	return offset, limit, nil
+}
+
 func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.session(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session")
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	entry.mu.Lock()
-	defer entry.mu.Unlock()
-	out := make([]TranscriptTurn, 0, len(entry.sess.Turns))
-	for _, t := range entry.sess.Turns {
-		tt := TranscriptTurn{Role: t.Role.String(), Text: t.Text, Confidence: t.Confidence}
-		if t.Role == dialogue.RoleUser {
-			tt.Intent = t.Intent.String()
-		}
-		out = append(out, tt)
+	entry, ok := s.lookup(w, r.PathValue("id"))
+	if !ok {
+		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	page := TranscriptPage{Offset: offset, Limit: limit, Turns: []TranscriptTurn{}}
+	doErr := entry.Do(func(sess *dialogue.Session) error {
+		page.Total = len(sess.Turns)
+		end := offset + limit
+		if end > page.Total {
+			end = page.Total
+		}
+		for i := offset; i < end; i++ {
+			t := sess.Turns[i]
+			tt := TranscriptTurn{Role: t.Role.String(), Text: t.Text, Confidence: t.Confidence}
+			if t.Role == dialogue.RoleUser {
+				tt.Intent = t.Intent.String()
+			}
+			page.Turns = append(page.Turns, tt)
+		}
+		return nil
+	})
+	if doErr != nil {
+		writeError(w, http.StatusInternalServerError, "transcript read failed")
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
 }

@@ -149,9 +149,13 @@ func TestTranscript(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	turns := decode[[]TranscriptTurn](t, resp)
-	if len(turns) != 2 || turns[0].Role != "user" || turns[1].Role != "system" {
-		t.Fatalf("turns = %+v", turns)
+	page := decode[TranscriptPage](t, resp)
+	turns := page.Turns
+	if page.Total != 2 || len(turns) != 2 || turns[0].Role != "user" || turns[1].Role != "system" {
+		t.Fatalf("page = %+v", page)
+	}
+	if page.Offset != 0 || page.Limit != DefaultPageLimit {
+		t.Errorf("default pagination = offset %d limit %d", page.Offset, page.Limit)
 	}
 	if turns[0].Intent != "query" {
 		t.Errorf("intent = %q", turns[0].Intent)
@@ -233,7 +237,7 @@ func TestConcurrentAskOneSession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	turns := decode[[]TranscriptTurn](t, resp)
+	turns := decode[TranscriptPage](t, resp).Turns
 	if len(turns) != 2*asks {
 		t.Fatalf("transcript has %d turns, want %d", len(turns), 2*asks)
 	}
@@ -293,7 +297,7 @@ func TestConcurrentAskManySessions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		turns := decode[[]TranscriptTurn](t, resp)
+		turns := decode[TranscriptPage](t, resp).Turns
 		if len(turns) != 2*asksPer {
 			t.Fatalf("session %d transcript has %d turns, want %d", g, len(turns), 2*asksPer)
 		}

@@ -1,0 +1,101 @@
+package sessionstore
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/dialogue"
+)
+
+// benchCommit measures the turn-commit hot path (WAL append + frame +
+// checksum). NoFsync isolates the store's own cost from the disk's
+// sync latency; the fsync'd figure is what production pays per turn.
+func benchCommit(b *testing.B, nofsync bool) {
+	st, err := Open(Config{Dir: b.TempDir(), Shards: 8, NoFsync: nofsync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := st.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doErr := e.Do(func(sess *dialogue.Session) error {
+			sess.CommitTurn("how many employment where canton is Zurich",
+				dialogue.IntentQuery, "there are 20", 0.8)
+			return st.CommitTurn(e)
+		})
+		if doErr != nil {
+			b.Fatal(doErr)
+		}
+	}
+	b.StopTimer()
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSessionStoreCommit(b *testing.B)      { benchCommit(b, true) }
+func BenchmarkSessionStoreCommitFsync(b *testing.B) { benchCommit(b, false) }
+
+// BenchmarkSessionStoreRecover measures cold-start recovery of a
+// directory holding 64 sessions x 8 committed turn pairs.
+func BenchmarkSessionStoreRecover(b *testing.B) {
+	dir := b.TempDir()
+	st, err := Open(Config{Dir: dir, Shards: 8, NoFsync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		e, err := st.NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 8; j++ {
+			doErr := e.Do(func(sess *dialogue.Session) error {
+				sess.CommitTurn(fmt.Sprintf("question %d", j),
+					dialogue.IntentQuery, fmt.Sprintf("answer %d", j), 0.8)
+				return st.CommitTurn(e)
+			})
+			if doErr != nil {
+				b.Fatal(doErr)
+			}
+		}
+	}
+	// Abandon without Close: recovery replays the WAL, the realistic
+	// crash-restart path.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st2, err := Open(Config{Dir: dir, Shards: 8, NoFsync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st2.Len() != 64 {
+			b.Fatalf("recovered %d sessions", st2.Len())
+		}
+		if err := st2.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionStoreGet measures the lookup path (shard hash +
+// TTL check) that every request pays before any work is admitted.
+func BenchmarkSessionStoreGet(b *testing.B) {
+	st := NewMemory(Config{Shards: 16})
+	ids := make([]string, 256)
+	for i := range ids {
+		e, err := st.NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = e.ID
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, status := st.Get(ids[i%len(ids)]); status != Found {
+			b.Fatal("lookup failed")
+		}
+	}
+}

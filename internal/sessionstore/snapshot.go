@@ -1,0 +1,81 @@
+package sessionstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// snapshot is one shard's compacted state: everything the WAL had
+// said, folded into a single JSON document. Compaction writes the
+// snapshot durably (temp file + fsync + rename) and only then
+// truncates the WAL, so a crash between the two steps merely replays
+// records the snapshot already contains — replay is idempotent by
+// construction (turn records carry their transcript index).
+type snapshot struct {
+	// MaxNum is the highest numeric session id this shard has ever
+	// issued, evicted sessions included, so a recovered store never
+	// re-issues an id that a tombstone would immediately declare Gone.
+	MaxNum     int           `json:"max_num"`
+	Sessions   []sessionSnap `json:"sessions"`
+	Tombstones []string      `json:"tombstones"`
+}
+
+// sessionSnap is one session's committed state.
+type sessionSnap struct {
+	ID    string    `json:"id"`
+	Num   int       `json:"num"`
+	Focus string    `json:"focus,omitempty"`
+	Turns []turnRec `json:"turns"`
+}
+
+// writeSnapshot atomically replaces the snapshot at path.
+func writeSnapshot(path string, snap snapshot, nosync bool) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("sessionstore: encode snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("sessionstore: create snapshot temp %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		cerr := f.Close()
+		return errors.Join(fmt.Errorf("sessionstore: write snapshot %s: %w", tmp, err), cerr)
+	}
+	if !nosync {
+		if err := f.Sync(); err != nil {
+			cerr := f.Close()
+			return errors.Join(fmt.Errorf("sessionstore: fsync snapshot %s: %w", tmp, err), cerr)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("sessionstore: close snapshot %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sessionstore: publish snapshot %s: %w", path, err)
+	}
+	return nil
+}
+
+// readSnapshot loads the shard snapshot at path; a missing file is an
+// empty snapshot (fresh shard or pre-first-compaction crash). A
+// corrupt snapshot is an error — unlike the WAL tail, the snapshot
+// was published atomically, so damage means something outside the
+// store's crash model touched the file.
+func readSnapshot(path string) (snapshot, error) {
+	var snap snapshot
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return snap, nil
+	}
+	if err != nil {
+		return snap, fmt.Errorf("sessionstore: read snapshot %s: %w", path, err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("sessionstore: decode snapshot %s: %w", path, err)
+	}
+	return snap, nil
+}

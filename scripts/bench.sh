@@ -9,38 +9,49 @@
 #     "iterations": 100,
 #     "metrics": {"ns/op": 4932012}}, ...]
 #
+# A second pass runs the session-store suite (BenchmarkSessionStore*:
+# commit, fsync commit, recovery replay, lookup) and writes it to
+# BENCH_sessionstore.json the same way.
+#
 # BENCHTIME (default 1x) controls -benchtime; use e.g. BENCHTIME=2s
-# for stable numbers, 1x for a smoke snapshot. OUT overrides the
-# output path. The parallel families run the same fixture at
-# workers=1 (the exact serial path) and several widths, so the
-# baseline file doubles as the serial-vs-parallel comparison table.
+# for stable numbers, 1x for a smoke snapshot. OUT / OUT_SESSIONSTORE
+# override the output paths. The parallel families run the same
+# fixture at workers=1 (the exact serial path) and several widths, so
+# the baseline file doubles as the serial-vs-parallel comparison table.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_baseline.json}"
+OUT_SESSIONSTORE="${OUT_SESSIONSTORE:-BENCH_sessionstore.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "==> go test -bench='^(BenchmarkE|BenchmarkParallel)' -benchtime=$BENCHTIME"
-go test -run='^$' -bench='^(BenchmarkE|BenchmarkParallel)' -benchtime="$BENCHTIME" . | tee "$RAW"
-
-awk '
-/^Benchmark/ {
-    name = $1
-    iters = $2
-    printf "%s{\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", sep, name, iters
-    msep = ""
-    for (i = 3; i + 1 <= NF; i += 2) {
-        printf "%s\"%s\": %s", msep, $(i + 1), $i
-        msep = ", "
+# bench_json <pattern> <pkg> <out> — run one bench family and snapshot
+# the standard `go test -bench` output as a JSON array.
+bench_json() {
+    local pattern="$1" pkg="$2" out="$3"
+    echo "==> go test -bench='$pattern' -benchtime=$BENCHTIME $pkg"
+    go test -run='^$' -bench="$pattern" -benchtime="$BENCHTIME" "$pkg" | tee "$RAW"
+    awk '
+    /^Benchmark/ {
+        name = $1
+        iters = $2
+        printf "%s{\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", sep, name, iters
+        msep = ""
+        for (i = 3; i + 1 <= NF; i += 2) {
+            printf "%s\"%s\": %s", msep, $(i + 1), $i
+            msep = ", "
+        }
+        printf "}}"
+        sep = ",\n "
     }
-    printf "}}"
-    sep = ",\n "
+    BEGIN { printf "[" }
+    END   { print "]" }
+    ' "$RAW" > "$out"
+    echo "bench.sh: wrote $(grep -c '"name"' "$out") benchmark entries to $out"
 }
-BEGIN { printf "[" }
-END   { print "]" }
-' "$RAW" > "$OUT"
 
-echo "bench.sh: wrote $(grep -c '"name"' "$OUT") benchmark entries to $OUT"
+bench_json '^(BenchmarkE|BenchmarkParallel)' . "$OUT"
+bench_json '^BenchmarkSessionStore' ./internal/sessionstore "$OUT_SESSIONSTORE"

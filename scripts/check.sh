@@ -22,11 +22,19 @@
 #                      panic-free, annotate every degraded answer, and
 #                      produce byte-identical transcripts per seed;
 #                      plus the cancellation-contract tests in core
-#   6. go test -race — full test suite under the race detector
-#   7. bench smoke   — one iteration of every BenchmarkParallel* and
-#                      BenchmarkResilience* so a broken benchmark
-#                      fixture fails the gate, not the next perf
-#                      investigation
+#   6. crash-recovery determinism — the chaos kill-and-recover tests:
+#                      each scenario runs twice into fresh directories
+#                      and the rendered transcripts are diffed byte for
+#                      byte; recovery must serve exactly the committed
+#                      prefix, including under injected torn WAL writes
+#   7. session durability — the sessionstore, admission, and durable
+#                      server suites under -race (WAL replay, snapshot
+#                      compaction, TTL eviction, load shedding)
+#   8. go test -race — full test suite under the race detector
+#   9. bench smoke   — one iteration of every BenchmarkParallel*,
+#                      BenchmarkResilience*, and BenchmarkSessionStore*
+#                      so a broken benchmark fixture fails the gate,
+#                      not the next perf investigation
 #
 # Any non-zero exit fails the gate. See README "Static analysis &
 # reliability invariants" for what each cdalint rule enforces.
@@ -55,11 +63,21 @@ echo "==> chaos fault sweeps (-race)"
 go test -race ./internal/chaos ./internal/faults ./internal/resilience
 go test -race -run 'TestCancelled|TestDeadlineExceeded|TestOpenBreaker' ./internal/core
 
+echo "==> crash-recovery determinism (kill-and-recover twice per seed, diff transcripts)"
+go test -race -run 'TestKillRecover' ./internal/chaos
+
+echo "==> session durability + admission (-race)"
+go test -race ./internal/sessionstore ./internal/admission
+go test -race -run 'TestSessionSurvivesRestart|TestTranscriptPagination|TestEvictedSessionGone|TestOverloadSheds|TestRateLimitSheds|TestConcurrentLifecycleAcrossShards|TestCreateSessionIDsMonotonicAcrossRestart' ./internal/server
+
 echo "==> go test -race ./..."
 go test -race ./...
 
 echo "==> parallel + resilience benchmark smoke (1 iteration)"
 go test -run='^$' -bench='^Benchmark(Parallel|Resilience)' -benchtime=1x .
+
+echo "==> session store benchmark smoke (1 iteration)"
+go test -run='^$' -bench='^BenchmarkSessionStore' -benchtime=1x ./internal/sessionstore
 
 echo "==> cdalint whole-module benchmark smoke (1 iteration)"
 go test -run='^$' -bench='^BenchmarkCdalint$' -benchtime=1x ./internal/analysis
