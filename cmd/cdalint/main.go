@@ -2,6 +2,9 @@
 // (internal/analysis) over module packages and reports findings with
 // file:line positions. It exits 1 when any finding survives the
 // cdalint:ignore directives, so it can gate CI (scripts/check.sh).
+// The rule set is whatever analysis.Analyzers() registers — run
+// `cdalint -list` for the authoritative list with one-line docs; this
+// comment deliberately names no rules so it cannot drift.
 //
 // Usage:
 //

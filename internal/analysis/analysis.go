@@ -115,6 +115,10 @@ func Analyzers() []*Analyzer {
 		ProvenanceTaint,
 		ConfidenceBounds,
 		LockFlow,
+		UnlockPath,
+		ResourceLeak,
+		FsyncOrder,
+		GoroutineLeak,
 	}
 }
 
@@ -202,4 +206,8 @@ const (
 	ruleProvenanceTaint   = "provenance-taint"
 	ruleConfidenceBounds  = "confidence-bounds"
 	ruleLockFlow          = "lock-flow"
+	ruleUnlockPath        = "unlock-path"
+	ruleResourceLeak      = "resource-leak"
+	ruleFsyncOrder        = "fsync-order"
+	ruleGoroutineLeak     = "goroutine-leak"
 )

@@ -72,6 +72,10 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"provenance-taint", "provtaint"},
 		{"confidence-bounds", "confbounds"},
 		{"lock-flow", "lockflow"},
+		{"unlock-path", "unlockpath"},
+		{"resource-leak", "resourceleak"},
+		{"fsync-order", "fsyncorder"},
+		{"goroutine-leak", "goroutineleak"},
 	}
 	loader := newTestLoader(t)
 	for _, tc := range cases {
@@ -120,6 +124,10 @@ func TestSuppressedSitesAreCounted(t *testing.T) {
 		"provenance-taint":   "provtaint",
 		"confidence-bounds":  "confbounds",
 		"lock-flow":          "lockflow",
+		"unlock-path":        "unlockpath",
+		"resource-leak":      "resourceleak",
+		"fsync-order":        "fsyncorder",
+		"goroutine-leak":     "goroutineleak",
 	}
 	loader := newTestLoader(t)
 	for rule, dir := range cases {
@@ -173,6 +181,21 @@ func TestIgnoreScopeGolden(t *testing.T) {
 	}
 }
 
+// TestIgnoreScopeMultilineRename pins directive scoping for the
+// CFG-based rules: the fsyncorder fixture's suppressed rename spans
+// several lines, and the directive on the line above must cover the
+// whole statement — exactly one site is suppressed there.
+func TestIgnoreScopeMultilineRename(t *testing.T) {
+	loader := newTestLoader(t)
+	a := AnalyzerByName("fsync-order")
+	p := loadFixture(t, loader, "fsyncorder")
+	raw := len(rawFindings(a, p))
+	filtered := len(Run([]*Package{p}, []*Analyzer{a}))
+	if raw != filtered+1 {
+		t.Errorf("expected exactly 1 suppressed site — the multi-line rename — got raw=%d filtered=%d", raw, filtered)
+	}
+}
+
 // TestModuleIsClean lints the entire module with the full suite —
 // the same gate scripts/check.sh enforces. Any finding here means a
 // reliability invariant regressed.
@@ -191,6 +214,10 @@ func TestModuleIsClean(t *testing.T) {
 	findings := Run(pkgs, Analyzers())
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("module is not lint-clean: %d findings across %d packages (each listed above with file:line and rule)",
+			len(findings), len(pkgs))
 	}
 }
 

@@ -24,7 +24,35 @@ func BenchmarkCdalint(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if findings := Run(pkgs, analyzers); len(findings) != 0 {
-			b.Fatalf("module not lint-clean: %d findings", len(findings))
+			for _, f := range findings {
+				b.Errorf("%s", f)
+			}
+			b.Fatalf("module not lint-clean: %d findings (listed above)", len(findings))
+		}
+	}
+}
+
+// BenchmarkCdastate measures just the four CFG/dataflow typestate
+// rules (unlock-path, resource-leak, fsync-order, goroutine-leak)
+// over the whole module, so regressions in the CFG builder or the
+// fixed-point solver show up separately from the rest of the suite.
+func BenchmarkCdastate(b *testing.B) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		b.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		b.Fatalf("loading module: %v", err)
+	}
+	analyzers := []*Analyzer{UnlockPath, ResourceLeak, FsyncOrder, GoroutineLeak}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if findings := Run(pkgs, analyzers); len(findings) != 0 {
+			for _, f := range findings {
+				b.Errorf("%s", f)
+			}
+			b.Fatalf("module not clean under typestate rules: %d findings (listed above)", len(findings))
 		}
 	}
 }

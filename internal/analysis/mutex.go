@@ -7,30 +7,21 @@ import (
 	"go/types"
 )
 
-// MutexHygiene enforces two lock invariants on the concurrent
-// packages (server, optimizer, vectorindex, catalog) that let this
-// reproduction serve parallel traffic safely:
-//
-//  1. no by-value copies of structs containing sync.Mutex /
-//     sync.RWMutex (parameters, receivers, range variables, plain
-//     assignments) — a copied lock silently stops guarding;
-//  2. every Lock/RLock acquired in a function is released in that
-//     function, either by a defer'd Unlock or by an explicit Unlock
-//     with no early return in between.
+// MutexHygiene forbids by-value copies of structs containing
+// sync.Mutex / sync.RWMutex (parameters, receivers, range variables,
+// plain assignments) — a copied lock silently stops guarding. Its
+// former lock/unlock pairing heuristic is superseded by the CFG-based
+// unlock-path rule, which checks every path instead of "no return
+// before the first unlock".
 var MutexHygiene = &Analyzer{
 	Name:     ruleMutexHygiene,
-	Doc:      "by-value copies of lock-bearing structs; locks without a safe unlock",
+	Doc:      "by-value copies of lock-bearing structs",
 	Severity: SeverityError,
 	Run:      runMutexHygiene,
 }
 
 func runMutexHygiene(p *Package) []Finding {
-	var out []Finding
-	out = append(out, lockCopies(p)...)
-	for _, fd := range funcDecls(p) {
-		out = append(out, lockPairing(p, fd)...)
-	}
-	return out
+	return lockCopies(p)
 }
 
 // --- check 1: by-value copies -------------------------------------

@@ -35,33 +35,8 @@ func assignCopy(a *counter) {
 	_ = b
 }
 
-func neverUnlocked(c *counter) int {
-	c.mu.Lock() // never released in this function
-	return c.n
-}
-
-func earlyReturn(c *counter, cond bool) int {
-	c.mu.Lock() // leaks when cond is true
-	if cond {
-		return 0
-	}
-	n := c.n
-	c.mu.Unlock()
-	return n
-}
-
-func goodDefer(c *counter) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
-
-func goodExplicit(c *counter) int {
-	c.mu.Lock()
-	n := c.n
-	c.mu.Unlock()
-	return n
-}
+// Lock/unlock pairing moved to the unlock-path rule; see the
+// unlockpath fixture for release-on-every-path cases.
 
 func goodRead(r *registry, k string) int {
 	r.mu.RLock()
@@ -73,7 +48,8 @@ func goodFresh() counter {
 	return counter{} // constructing a fresh value is not a copy
 }
 
-func suppressedLock(c *counter) {
-	// cdalint:ignore mutex-hygiene -- released by a paired helper
-	c.mu.Lock()
+func suppressedCopy(a *counter) {
+	// cdalint:ignore mutex-hygiene -- snapshot copy is read-only by design
+	b := *a
+	_ = b
 }

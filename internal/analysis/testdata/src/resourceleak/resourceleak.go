@@ -1,0 +1,109 @@
+// Package fixture is deliberately broken test input for the
+// resource-leak analyzer: file handles and admission-style release
+// callbacks with releases deleted on specific branches.
+package fixture
+
+import (
+	"errors"
+	"os"
+)
+
+type gate struct {
+	slots chan struct{}
+}
+
+// admit mirrors the admission API shape: a release callback paired
+// with an error.
+func (g *gate) admit() (func(), error) {
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, nil
+	default:
+		return nil, errors.New("full")
+	}
+}
+
+func leakOnEarlyReturn(path string, cond bool) error {
+	f, err := os.Open(path) // leaked when cond is true
+	if err != nil {
+		return err
+	}
+	if cond {
+		return errors.New("bail")
+	}
+	return f.Close()
+}
+
+func leakNeverClosed(path string) (int, error) {
+	f, err := os.Open(path) // never closed on any path
+	if err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return int(st.Size()), nil
+}
+
+func leakReleaseFunc(g *gate, work func()) error {
+	release, err := g.admit() // slot held past the early return
+	if err != nil {
+		return err
+	}
+	if work == nil {
+		return errors.New("nothing to do")
+	}
+	work()
+	release()
+	return nil
+}
+
+func goodDeferClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+func goodDeferRelease(g *gate) error {
+	release, err := g.admit()
+	if err != nil {
+		return err
+	}
+	defer release()
+	return nil
+}
+
+func goodBothBranches(path string, cond bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if cond {
+		f.Close()
+		return errors.New("bail")
+	}
+	return f.Close()
+}
+
+func goodEscape(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil // ownership transfers to the caller
+}
+
+func suppressedLeak(path string) (string, error) {
+	// cdalint:ignore resource-leak -- handle stays open for the process lifetime
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}

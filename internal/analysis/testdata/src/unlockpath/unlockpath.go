@@ -1,0 +1,112 @@
+// Package fixture is deliberately broken test input for the
+// unlock-path analyzer: lock acquisitions mirroring the session
+// store's shard locking, with releases deleted on specific paths.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int
+}
+
+func neverUnlocked(s *store) int {
+	s.mu.Lock() // no release anywhere in the function
+	return len(s.items)
+}
+
+func earlyReturn(s *store, cond bool) int {
+	s.mu.Lock() // leaks when cond is true
+	if cond {
+		return 0
+	}
+	n := len(s.items)
+	s.mu.Unlock()
+	return n
+}
+
+func branchMissesUnlock(s *store, k string) int {
+	s.mu.Lock() // the miss arm forgets the unlock
+	v, ok := s.items[k]
+	if ok {
+		s.mu.Unlock()
+		return v
+	}
+	return -1
+}
+
+func panicPath(s *store, k string) int {
+	s.mu.Lock() // the panic escapes with the lock held
+	v, ok := s.items[k]
+	if !ok {
+		panic("missing key: " + k)
+	}
+	s.mu.Unlock()
+	return v
+}
+
+func readLeak(s *store, k string) (int, bool) {
+	s.rw.RLock() // RLock leaked on the miss branch
+	v, ok := s.items[k]
+	if !ok {
+		return 0, false
+	}
+	s.rw.RUnlock()
+	return v, true
+}
+
+func goodDefer(s *store) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+func goodBothArms(s *store, k string) int {
+	s.mu.Lock()
+	v, ok := s.items[k]
+	if ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return -1
+}
+
+func goodDeferredClosure(s *store) (n int) {
+	s.mu.Lock()
+	defer func() {
+		n = len(s.items)
+		s.mu.Unlock()
+	}()
+	return
+}
+
+func goodPanicCovered(s *store, k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.items[k]
+	if !ok {
+		panic("missing key")
+	}
+	return v
+}
+
+func goodLoopRelock(s *store, keys []string) int {
+	total := 0
+	for _, k := range keys {
+		s.mu.Lock()
+		total += s.items[k]
+		s.mu.Unlock()
+	}
+	return total
+}
+
+func suppressedLock(s *store) {
+	// cdalint:ignore unlock-path -- released by the paired helper below
+	s.mu.Lock()
+}
+
+func pairedUnlock(s *store) {
+	s.mu.Unlock()
+}

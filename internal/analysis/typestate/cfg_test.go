@@ -1,0 +1,436 @@
+package typestate
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src (one or more decls, package clause implied)
+// and builds the CFG of the LAST function declaration.
+func buildFunc(t *testing.T, src string) *CFG {
+	t.Helper()
+	file, err := parser.ParseFile(token.NewFileSet(), "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var fd *ast.FuncDecl
+	for _, d := range file.Decls {
+		if f, ok := d.(*ast.FuncDecl); ok {
+			fd = f
+		}
+	}
+	if fd == nil {
+		t.Fatal("no function in source")
+	}
+	return Build(fd.Body, testClassify)
+}
+
+// testClassify is a syntax-only stand-in for the type-aware
+// classifier: the builtin panic and os.Exit by name.
+func testClassify(call *ast.CallExpr) CallKind {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			return CallPanic
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok && id.Name == "os" && fun.Sel.Name == "Exit" {
+			return CallNoReturn
+		}
+	}
+	return CallNormal
+}
+
+// visitCalls runs a trivial forward analysis and reports which callee
+// names appear in blocks the solver actually visits — dead code never
+// shows up, which is exactly the reachability property the rules rely
+// on.
+func visitCalls(cfg *CFG) (seen map[string]bool, res *Result) {
+	seen = map[string]bool{}
+	res = Forward(cfg, Analysis{Transfer: func(n ast.Node, _ State) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok {
+					seen[id.Name] = true
+				}
+			}
+			return true
+		})
+	}})
+	return seen, res
+}
+
+func wantSeen(t *testing.T, seen map[string]bool, names ...string) {
+	t.Helper()
+	for _, n := range names {
+		if !seen[n] {
+			t.Errorf("call %s() should be reachable but the solver never visited it", n)
+		}
+	}
+}
+
+func wantUnseen(t *testing.T, seen map[string]bool, names ...string) {
+	t.Helper()
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("call %s() is dead code but the solver visited it", n)
+		}
+	}
+}
+
+func TestDeferInLoop(t *testing.T) {
+	cfg := buildFunc(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		defer release()
+	}
+	done()
+}`)
+	deferCount := 0
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				deferCount++
+			}
+		}
+	}
+	if deferCount != 1 {
+		t.Errorf("DeferStmt should appear in exactly one block, found %d", deferCount)
+	}
+	seen, res := visitCalls(cfg)
+	wantSeen(t, seen, "release", "done")
+	if res.AtExit() == nil {
+		t.Error("loop with a bound must reach Exit")
+	}
+}
+
+func TestSelectWithDefault(t *testing.T) {
+	cfg := buildFunc(t, `
+func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		recv()
+		return v
+	default:
+		idle()
+	}
+	after()
+	return -1
+}`)
+	seen, res := visitCalls(cfg)
+	wantSeen(t, seen, "recv", "idle", "after")
+	if res.AtExit() == nil {
+		t.Error("select with default must fall through to Exit")
+	}
+}
+
+func TestSelectAllClausesReturn(t *testing.T) {
+	cfg := buildFunc(t, `
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+	dead()
+	return 0
+}`)
+	seen, res := visitCalls(cfg)
+	wantUnseen(t, seen, "dead")
+	if res.AtExit() == nil {
+		t.Error("returns inside select clauses must reach Exit")
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	cfg := buildFunc(t, `
+func f() {
+	select {}
+	dead()
+}`)
+	seen, res := visitCalls(cfg)
+	wantUnseen(t, seen, "dead")
+	if res.AtExit() != nil {
+		t.Error("select{} never proceeds; Exit must be unreachable")
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	cfg := buildFunc(t, `
+func f(xs [][]int) {
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+			use(v)
+		}
+		rowDone()
+	}
+	after()
+}`)
+	seen, res := visitCalls(cfg)
+	wantSeen(t, seen, "use", "rowDone", "after")
+	if res.AtExit() == nil {
+		t.Error("function must reach Exit")
+	}
+
+	cfg = buildFunc(t, `
+func g(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			step()
+			continue outer
+		}
+		dead()
+	}
+	after()
+}`)
+	seen, res = visitCalls(cfg)
+	wantSeen(t, seen, "step", "after")
+	wantUnseen(t, seen, "dead")
+	if res.AtExit() == nil {
+		t.Error("continue outer must route back through the outer post")
+	}
+}
+
+func TestPanicOnlyBranch(t *testing.T) {
+	cfg := buildFunc(t, `
+func f(ok bool) {
+	if !ok {
+		panic("bad")
+	}
+	done()
+}`)
+	seen, res := visitCalls(cfg)
+	wantSeen(t, seen, "done")
+	if res.AtPanic() == nil {
+		t.Error("explicit panic must reach PanicExit")
+	}
+	if res.AtExit() == nil {
+		t.Error("the ok branch must still reach Exit")
+	}
+}
+
+func TestAlwaysPanics(t *testing.T) {
+	cfg := buildFunc(t, `
+func f() {
+	panic("always")
+	dead()
+}`)
+	seen, res := visitCalls(cfg)
+	wantUnseen(t, seen, "dead")
+	if res.AtExit() != nil {
+		t.Error("a function that always panics cannot reach Exit")
+	}
+	if res.AtPanic() == nil {
+		t.Error("PanicExit must be reachable")
+	}
+}
+
+func TestNoReturnCall(t *testing.T) {
+	cfg := buildFunc(t, `
+func f(ok bool) {
+	if !ok {
+		os.Exit(1)
+	}
+	done()
+}`)
+	seen, res := visitCalls(cfg)
+	wantSeen(t, seen, "done")
+	if res.AtPanic() != nil {
+		t.Error("os.Exit does not unwind; PanicExit must stay unreachable")
+	}
+	if res.AtExit() == nil {
+		t.Error("the ok branch must reach Exit")
+	}
+}
+
+func TestInfiniteLoopNoBreak(t *testing.T) {
+	cfg := buildFunc(t, `
+func f() {
+	for {
+		work()
+	}
+	dead()
+}`)
+	seen, res := visitCalls(cfg)
+	wantSeen(t, seen, "work")
+	wantUnseen(t, seen, "dead")
+	if res.AtExit() != nil {
+		t.Error("for{} without break cannot reach Exit")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	cfg := buildFunc(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+	after()
+}`)
+	seen, res := visitCalls(cfg)
+	wantSeen(t, seen, "a", "b", "c", "after")
+	if res.AtExit() == nil {
+		t.Error("switch must reach Exit")
+	}
+	// Structural check: the block holding a() must edge into the block
+	// holding b(), not into after — that is what fallthrough means.
+	var aBlk, bBlk *Block
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "a":
+							aBlk = blk
+						case "b":
+							bBlk = blk
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if aBlk == nil || bBlk == nil {
+		t.Fatal("case blocks not found")
+	}
+	found := false
+	for _, e := range aBlk.Succs {
+		if e.To == bBlk {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fallthrough case must edge directly into the next case block")
+	}
+}
+
+func TestSwitchWithoutDefaultFallsThrough(t *testing.T) {
+	cfg := buildFunc(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		a()
+	}
+	after()
+}`)
+	seen, _ := visitCalls(cfg)
+	wantSeen(t, seen, "a", "after")
+
+	cfg = buildFunc(t, `
+func g(x int) int {
+	switch x {
+	case 1:
+		return 1
+	default:
+		return 0
+	}
+	dead()
+	return -1
+}`)
+	seen, _ = visitCalls(cfg)
+	wantUnseen(t, seen, "dead")
+}
+
+func TestGotoConverges(t *testing.T) {
+	cfg := buildFunc(t, `
+func f(n int) {
+loop:
+	if n > 0 {
+		step()
+		goto loop
+	}
+	done()
+}`)
+	seen, res := visitCalls(cfg)
+	wantSeen(t, seen, "step", "done")
+	if res.AtExit() == nil {
+		t.Error("goto loop must still allow Exit via the n <= 0 branch")
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	cfg := buildFunc(t, `
+func f() int {
+	return 1
+	dead()
+	return 2
+}`)
+	seen, _ := visitCalls(cfg)
+	wantUnseen(t, seen, "dead")
+}
+
+// TestBranchRefinement pins the Refine contract: the callback fires
+// once per conditional edge with the branch's condition and assumed
+// truth value.
+func TestBranchRefinement(t *testing.T) {
+	cfg := buildFunc(t, `
+func f(err error) {
+	if err != nil {
+		onErr()
+	}
+	done()
+}`)
+	truths := map[bool]bool{}
+	Forward(cfg, Analysis{
+		Transfer: func(ast.Node, State) {},
+		Refine: func(cond ast.Expr, truth bool, _ State) {
+			if _, ok := cond.(*ast.BinaryExpr); !ok {
+				t.Errorf("expected the if condition, got %T", cond)
+			}
+			truths[truth] = true
+		},
+	})
+	if !truths[true] || !truths[false] {
+		t.Errorf("Refine must run for both branch outcomes, got %v", truths)
+	}
+}
+
+// TestMayJoin pins the powerset semantics: a fact set on one branch
+// survives the join with a branch that never sets it.
+func TestMayJoin(t *testing.T) {
+	cfg := buildFunc(t, `
+func f(c bool) {
+	if c {
+		acquire()
+	}
+	done()
+}`)
+	type key struct{}
+	const acquired Facts = 1
+	res := Forward(cfg, Analysis{
+		Init: State{key{}: 0},
+		Transfer: func(n ast.Node, s State) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "acquire" {
+						s[key{}] |= acquired
+					}
+				}
+				return true
+			})
+		},
+	})
+	exit := res.AtExit()
+	if exit == nil {
+		t.Fatal("Exit unreachable")
+	}
+	if exit[key{}]&acquired == 0 {
+		t.Error("a fact set on one branch must survive the union join at Exit")
+	}
+}

@@ -1,0 +1,117 @@
+package typestate
+
+import "go/ast"
+
+// Facts is a bit-set of per-path facts about one tracked value. The
+// lattice is the powerset ordered by inclusion: a set represents the
+// facts that hold on AT LEAST ONE path reaching the program point, so
+// joins are unions and "may" questions ("can this value still be
+// locked here?") are single bit tests.
+type Facts uint32
+
+// State maps each tracked value (a rule-defined comparable key,
+// typically carrying the types.Object and the acquisition position)
+// to its fact set. A missing key means the value is not live — the
+// lattice bottom.
+type State map[any]Facts
+
+// Clone copies the state.
+func (s State) Clone() State {
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Join unions o into s and reports whether s changed.
+func (s State) Join(o State) bool {
+	changed := false
+	for k, v := range o {
+		if old, ok := s[k]; !ok || old|v != old {
+			s[k] = old | v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Map rewrites one key's fact set through f (a gen/kill transfer);
+// the key must be present.
+func (s State) Map(k any, f func(Facts) Facts) {
+	if v, ok := s[k]; ok {
+		s[k] = f(v)
+	}
+}
+
+// Analysis is one forward dataflow problem over a CFG. Transfer
+// applies a node's effect in place; transfers must be monotone in the
+// powerset order (per-element gen/kill maps and strong updates both
+// qualify), which with union joins guarantees termination. Refine,
+// when non-nil, narrows the state along a branch edge whose condition
+// is known to have evaluated to truth — the seam that lets rules
+// understand `if err != nil { return err }` acquisition failures.
+type Analysis struct {
+	// Init seeds the entry state; nil means empty. Rules whose facts
+	// exist from function entry (e.g. "completion still pending") set
+	// it so the fact survives joins on paths that never touch the key.
+	Init     State
+	Transfer func(n ast.Node, s State)
+	Refine   func(cond ast.Expr, truth bool, s State)
+}
+
+// Result holds the fixed point: the state at entry to every reachable
+// block. Unreachable blocks have no entry (nil State).
+type Result struct {
+	In  map[*Block]State
+	cfg *CFG
+}
+
+// AtExit returns the joined state over every normal-termination path,
+// or nil when the function cannot return (infinite loop, always
+// panics).
+func (r *Result) AtExit() State { return r.In[r.cfg.Exit] }
+
+// AtPanic returns the joined state over every explicit panic path, or
+// nil when no reachable panic exists.
+func (r *Result) AtPanic() State { return r.In[r.cfg.PanicExit] }
+
+// Forward runs the analysis to a fixed point with a worklist,
+// visiting only blocks reachable from Entry.
+func Forward(cfg *CFG, a Analysis) *Result {
+	entry := State{}
+	if a.Init != nil {
+		entry = a.Init.Clone()
+	}
+	in := map[*Block]State{cfg.Entry: entry}
+	queue := []*Block{cfg.Entry}
+	queued := map[*Block]bool{cfg.Entry: true}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+
+		s := in[b].Clone()
+		for _, n := range b.Nodes {
+			a.Transfer(n, s)
+		}
+		for _, e := range b.Succs {
+			ns := s
+			if e.Cond != nil && a.Refine != nil {
+				ns = s.Clone()
+				a.Refine(e.Cond, e.Truth, ns)
+			}
+			tgt, ok := in[e.To]
+			if !ok {
+				in[e.To] = ns.Clone()
+			} else if !tgt.Join(ns) {
+				continue
+			}
+			if !queued[e.To] {
+				queued[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return &Result{In: in, cfg: cfg}
+}

@@ -54,6 +54,9 @@ func writeSnapshot(path string, snap snapshot, nosync bool) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("sessionstore: close snapshot %s: %w", tmp, err)
 	}
+	// cdalint:ignore fsync-order -- nosync is a benchmark-only escape
+	// hatch that deliberately skips the Sync; production callers always
+	// pass nosync=false, so the durable-write protocol holds.
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("sessionstore: publish snapshot %s: %w", path, err)
 	}

@@ -4,16 +4,17 @@
 # Runs, in order:
 #   1. go vet        — stock Go correctness checks
 #   2. go build      — every package compiles
-#   3. cdalint       — the repo's own reliability analyzers
-#                      (dropped-error, nondeterminism, unannotated-answer,
-#                       mutex-hygiene, map-order-leak, bare-panic, raw-sleep)
-#                      plus the interprocedural dataflow rules
-#                      (ctx-propagation, provenance-taint,
-#                       confidence-bounds, lock-flow), which run over the
-#                      module-wide call graph. The analysis itself runs
-#                      under a 60-second budget (compile time excluded):
-#                      if whole-module analysis ever exceeds it, the gate
-#                      fails rather than silently slowing every CI run.
+#   3. cdalint       — the repo's own reliability analyzers. The rule
+#                      set is printed from the registry at run time
+#                      (cdalint -list) so this script never drifts from
+#                      the code; see README "Static analysis &
+#                      reliability invariants" for what each enforces.
+#                      The analysis itself — per-package rules, the
+#                      interprocedural dataflow rules, and the
+#                      CFG/typestate rules — runs under a 60-second
+#                      budget (compile time excluded): if whole-module
+#                      analysis ever exceeds it, the gate fails rather
+#                      than silently slowing every CI run.
 #   4. determinism   — the serial-vs-parallel equality property tests,
 #                      run under -race (parallel operators must return
 #                      byte-identical results AND be race-clean)
@@ -32,9 +33,10 @@
 #                      compaction, TTL eviction, load shedding)
 #   8. go test -race — full test suite under the race detector
 #   9. bench smoke   — one iteration of every BenchmarkParallel*,
-#                      BenchmarkResilience*, and BenchmarkSessionStore*
-#                      so a broken benchmark fixture fails the gate,
-#                      not the next perf investigation
+#                      BenchmarkResilience*, BenchmarkSessionStore*,
+#                      BenchmarkCdalint, and BenchmarkCdastate so a
+#                      broken benchmark fixture fails the gate, not the
+#                      next perf investigation
 #
 # Any non-zero exit fails the gate. See README "Static analysis &
 # reliability invariants" for what each cdalint rule enforces.
@@ -52,6 +54,8 @@ echo "==> cdalint ./... (60s analysis budget)"
 CDALINT_BIN="$(mktemp -d)/cdalint"
 trap 'rm -rf "$(dirname "$CDALINT_BIN")"' EXIT
 go build -o "$CDALINT_BIN" ./cmd/cdalint
+echo "    rules (from the registry):"
+"$CDALINT_BIN" -list | sed 's/^/      /'
 timeout 60 "$CDALINT_BIN" ./...
 
 echo "==> determinism property tests (-race)"
@@ -80,6 +84,6 @@ echo "==> session store benchmark smoke (1 iteration)"
 go test -run='^$' -bench='^BenchmarkSessionStore' -benchtime=1x ./internal/sessionstore
 
 echo "==> cdalint whole-module benchmark smoke (1 iteration)"
-go test -run='^$' -bench='^BenchmarkCdalint$' -benchtime=1x ./internal/analysis
+go test -run='^$' -bench='^BenchmarkCda(lint|state)$' -benchtime=1x ./internal/analysis
 
 echo "check.sh: all gates passed"
