@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+
+	"github.com/reliable-cda/cda/internal/dialogue"
+	"github.com/reliable-cda/cda/internal/sqldb"
+)
+
+// Streaming partial answers: long analytical questions can surface an
+// early, explicitly-incomplete view of the result while the full
+// pipeline finishes. Each partial carries a completeness bound (the
+// fraction of the data consumed) and a confidence that is the verified
+// translation's confidence scaled by completeness — so the confidence
+// shown to the user only ever tightens upward toward the committed
+// answer's, mirroring how the progressive (ProS-style) retrieval tier
+// reports early hits.
+
+// PartialAnswer is one streaming snapshot of a query answer.
+type PartialAnswer struct {
+	// Text is the rendered result over the data consumed so far.
+	Text string
+	// Completeness is the fraction of the driving table consumed, in
+	// [0, 1], non-decreasing across snapshots.
+	Completeness float64
+	// Confidence is the translation confidence scaled by completeness;
+	// it reaches the committed answer's consistency evidence at 1.
+	Confidence float64
+	// Done marks the final snapshot, whose Text equals the committed
+	// answer's rendered result.
+	Done bool
+}
+
+type partialEmitterKey struct{}
+
+// WithPartialEmitter attaches a partial-answer consumer to the
+// context. Query turns that reach the verified NL2SQL pipeline stream
+// snapshots to it; all other turn kinds ignore it.
+func WithPartialEmitter(ctx context.Context, emit func(PartialAnswer)) context.Context {
+	return context.WithValue(ctx, partialEmitterKey{}, emit)
+}
+
+// partialEmitter extracts the attached consumer, or nil.
+func partialEmitter(ctx context.Context) func(PartialAnswer) {
+	emit, _ := ctx.Value(partialEmitterKey{}).(func(PartialAnswer))
+	return emit
+}
+
+// RespondStream is Respond with streaming partial snapshots for query
+// turns: onPartial observes a monotone sequence of increasingly
+// complete answers before the final annotated Answer returns. Answers
+// served from the singleflight cache (or turn kinds that never touch
+// the SQL engine) return without partials — the feed is advisory, the
+// returned Answer is the contract.
+func (s *System) RespondStream(ctx context.Context, sess *dialogue.Session, userText string, onPartial func(PartialAnswer)) (*Answer, error) {
+	if onPartial != nil {
+		ctx = WithPartialEmitter(ctx, onPartial)
+	}
+	return s.Respond(ctx, sess, userText)
+}
+
+// streamPartials re-executes the verified SQL through the streaming
+// engine when the caller attached an emitter. The committed answer was
+// already produced and verified; the stream is a progressive view of
+// the same result, so any failure here (cancellation mid-stream, an
+// injected fault on the re-execution) simply ends the feed early — the
+// degradation ladder and error handling of the main path are not
+// involved.
+func (s *System) streamPartials(ctx context.Context, sql string, confidence float64) {
+	emit := partialEmitter(ctx)
+	if emit == nil || s.engine == nil || sql == "" {
+		return
+	}
+	stmt, err := sqldb.Parse(sql)
+	if err != nil {
+		return
+	}
+	serr := s.engine.ExecStream(ctx, stmt, sqldb.StreamOptions{}, func(p sqldb.Partial) error {
+		emit(PartialAnswer{
+			Text:         renderResult(p.Result),
+			Completeness: p.Completeness,
+			Confidence:   p.Completeness * confidence,
+			Done:         p.Done,
+		})
+		return nil
+	})
+	if serr != nil {
+		// Advisory stream: the verified answer is unaffected.
+		return
+	}
+}

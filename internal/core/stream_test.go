@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRespondStreamEmitsPartials: a verified query turn streams at
+// least two increasingly-complete snapshots before the final answer,
+// with confidence scaled by completeness, ending in a Done snapshot.
+func TestRespondStreamEmitsPartials(t *testing.T) {
+	s := swissSystem(t, nil)
+	sess := s.NewSession()
+	var parts []PartialAnswer
+	ans, err := s.RespondStream(context.Background(), sess,
+		"how many employment where canton is Zurich",
+		func(p PartialAnswer) { parts = append(parts, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Abstained {
+		t.Fatalf("abstained: %+v", ans)
+	}
+	if len(parts) < 2 {
+		t.Fatalf("expected >= 2 partial snapshots, got %d", len(parts))
+	}
+	last := -1.0
+	for i, p := range parts {
+		if p.Completeness < last {
+			t.Fatalf("partial %d: completeness %v < previous %v", i, p.Completeness, last)
+		}
+		last = p.Completeness
+		if p.Confidence > p.Completeness {
+			// Confidence is translation confidence (<= 1) scaled by
+			// completeness, so it can never exceed the bound itself.
+			t.Fatalf("partial %d: confidence %v exceeds completeness %v", i, p.Confidence, p.Completeness)
+		}
+		if p.Done != (i == len(parts)-1) {
+			t.Fatalf("partial %d: Done=%v misplaced", i, p.Done)
+		}
+	}
+	final := parts[len(parts)-1]
+	if final.Completeness != 1 {
+		t.Fatalf("final completeness %v, want 1", final.Completeness)
+	}
+	if final.Text == "" {
+		t.Fatal("final partial has empty text")
+	}
+	// The final snapshot renders the same committed result the answer
+	// itself reports (the answer text carries extra annotations).
+	if !strings.Contains(ans.Text, strings.Split(final.Text, "\n")[0]) {
+		t.Fatalf("final partial text %q not reflected in answer %q", final.Text, ans.Text)
+	}
+}
+
+// TestRespondStreamNilCallback degrades to a plain Respond.
+func TestRespondStreamNilCallback(t *testing.T) {
+	s := swissSystem(t, nil)
+	sess := s.NewSession()
+	ans, err := s.RespondStream(context.Background(), sess,
+		"how many employment where canton is Zurich", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Abstained || !strings.Contains(ans.Text, "20") {
+		t.Fatalf("unexpected answer: %+v", ans)
+	}
+}
+
+// TestRespondStreamDoesNotChangeAnswers: the streaming feed is
+// advisory — the committed answer must be identical with and without
+// an attached consumer.
+func TestRespondStreamDoesNotChangeAnswers(t *testing.T) {
+	const q = "how many employment where canton is Zurich"
+	plain := swissSystem(t, nil)
+	plainAns := respond(t, plain, plain.NewSession(), q)
+
+	streamed := swissSystem(t, nil)
+	ans, err := streamed.RespondStream(context.Background(), streamed.NewSession(), q, func(PartialAnswer) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text != plainAns.Text {
+		t.Fatalf("streaming changed the answer:\nwith:    %q\nwithout: %q", ans.Text, plainAns.Text)
+	}
+	if ans.Confidence != plainAns.Confidence {
+		t.Fatalf("streaming changed confidence: %v vs %v", ans.Confidence, plainAns.Confidence)
+	}
+}
+
+// TestRespondStreamNonQueryTurnsEmitNothing: turns that never reach
+// the SQL engine ignore the emitter entirely.
+func TestRespondStreamNonQueryTurnsEmitNothing(t *testing.T) {
+	s := swissSystem(t, nil)
+	sess := s.NewSession()
+	var parts []PartialAnswer
+	ans, err := s.RespondStream(context.Background(), sess,
+		"what data do you have about unemployment",
+		func(p PartialAnswer) { parts = append(parts, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text == "" {
+		t.Fatal("empty answer")
+	}
+	if len(parts) != 0 {
+		t.Fatalf("discovery turn emitted %d partials", len(parts))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"github.com/reliable-cda/cda/internal/nlmodel"
 	"github.com/reliable-cda/cda/internal/sqldb"
@@ -22,7 +23,17 @@ import (
 // to parse.
 type Reranker struct {
 	lm *nlmodel.NGram
+
+	// Rewards are pure functions of the candidate text and the trained
+	// LM, so they memoize safely; the same repaired candidates recur
+	// across samples and questions. The memo is bounded — past the cap
+	// rewards still compute, they just aren't remembered.
+	memoMu sync.Mutex
+	memo   map[string]float64
 }
+
+// rewardMemoCap bounds the per-reranker reward memo.
+const rewardMemoCap = 8192
 
 // NewReranker trains the reference LM from the database schema.
 func NewReranker(db *storage.Database) *Reranker {
@@ -49,18 +60,29 @@ func NewReranker(db *storage.Database) *Reranker {
 		}
 	}
 	lm.Train(corpus)
-	return &Reranker{lm: lm}
+	return &Reranker{lm: lm, memo: make(map[string]float64)}
 }
 
 // Reward scores a candidate: parse validity dominates, then fluency
 // (negative perplexity). Higher is better.
 func (r *Reranker) Reward(sql string) float64 {
+	r.memoMu.Lock()
+	if s, ok := r.memo[sql]; ok {
+		r.memoMu.Unlock()
+		return s
+	}
+	r.memoMu.Unlock()
 	const parseBonus = 1e6
 	score := 0.0
 	if _, err := sqldb.Parse(sql); err == nil {
 		score += parseBonus
 	}
 	score -= r.lm.Perplexity(tokenizeSQL(sql))
+	r.memoMu.Lock()
+	if r.memo != nil && len(r.memo) < rewardMemoCap {
+		r.memo[sql] = score
+	}
+	r.memoMu.Unlock()
 	return score
 }
 
@@ -83,15 +105,23 @@ func (r *Reranker) Best(candidates []string) string {
 // (+ optional constrained repair) and returns the reward-maximizing
 // one.
 func (t *Translator) emitReranked(ideal string, rng *rand.Rand, pool int) string {
+	return t.emitRerankedToks(schemaArtifactsFor(t.DB), tokenizeSQL(ideal), rng, pool)
+}
+
+// emitRerankedToks is emitReranked over pre-tokenized ideal SQL and
+// pre-resolved schema artifacts. The reference LM comes from the
+// artifact cache, so its (deterministic) training happens once per
+// database rather than once per Translator.
+func (t *Translator) emitRerankedToks(sc *schemaArtifacts, toks []string, rng *rand.Rand, pool int) string {
 	if t.reranker == nil {
-		t.reranker = NewReranker(t.DB)
+		t.reranker = sc.rerankerFor(t.DB)
 	}
 	if pool < 2 {
 		pool = 2
 	}
 	cands := make([]string, 0, pool)
 	for i := 0; i < pool; i++ {
-		cands = append(cands, t.emitCandidate(ideal, rng))
+		cands = append(cands, t.emitCandidateToks(sc, toks, rng))
 	}
 	return t.reranker.Best(cands)
 }

@@ -207,6 +207,13 @@ func (t *Translator) translateFrame(question string, frame *Frame) (*Translation
 		}
 	}
 	rng := rand.New(rand.NewSource(t.Seed ^ hashString(question)))
+	// The ideal SQL and the schema are fixed for the whole sampling
+	// round: tokenize once instead of re-lexing per candidate attempt
+	// (the channel never mutates its input sequence), and resolve the
+	// schema artifacts once instead of re-validating the signature per
+	// repair.
+	idealToks := tokenizeSQL(ideal)
+	sc := schemaArtifactsFor(t.DB)
 
 	type executed struct {
 		sql  string
@@ -217,18 +224,41 @@ func (t *Translator) translateFrame(question string, frame *Frame) (*Translation
 	byFP := map[string]*executed{}
 	var firstCandidate string
 	var lastTransient error
+	// The engine is deterministic: identical candidate SQL produces an
+	// identical result (or error), so repeated candidates within a
+	// round — common once constrained repair converges — need only one
+	// execution. Any configured fault hook disables the dedup, since
+	// skipping executions would shift the deterministic injection
+	// schedule.
+	type queryOut struct {
+		res *sqldb.Result
+		err error
+	}
+	var queryMemo map[string]queryOut
+	if t.Faults == nil && t.Engine.Faults == nil && t.DB.Faults == nil {
+		queryMemo = make(map[string]queryOut, samples)
+	}
 	for s := 0; s < samples; s++ {
 		var cand string
 		if t.Options.UseReranking {
-			cand = t.emitReranked(ideal, rng, t.Options.RerankPool)
+			cand = t.emitRerankedToks(sc, idealToks, rng, t.Options.RerankPool)
 		} else {
-			cand = t.emitCandidate(ideal, rng)
+			cand = t.emitCandidateToks(sc, idealToks, rng)
 		}
 		tr.Candidates = append(tr.Candidates, cand)
 		if firstCandidate == "" {
 			firstCandidate = cand
 		}
-		res, err := t.Engine.Query(cand)
+		var res *sqldb.Result
+		var err error
+		if out, ok := queryMemo[cand]; ok {
+			res, err = out.res, out.err
+		} else {
+			res, err = t.Engine.Query(cand)
+			if queryMemo != nil {
+				queryMemo[cand] = queryOut{res: res, err: err}
+			}
+		}
 		if err != nil {
 			if resilience.IsTransient(err) {
 				// Backend failure, not a bad candidate: remember it so a
@@ -304,6 +334,17 @@ func (t *Translator) translateFrame(question string, frame *Frame) (*Translation
 // when constrained decoding is on, repairs it against the schema and
 // grammar with bounded rejection sampling.
 func (t *Translator) emitCandidate(ideal string, rng *rand.Rand) string {
+	return t.emitCandidateToks(schemaArtifactsFor(t.DB), tokenizeSQL(ideal), rng)
+}
+
+// emitCandidateToks is emitCandidate over pre-tokenized ideal SQL and
+// pre-resolved schema artifacts, saving a lex and a cache lookup per
+// repair attempt when the caller samples repeatedly from the same
+// ideal. Repair and the parse-validity check are memoized per
+// corrupted candidate (both are pure functions of schema and text);
+// the fault hook runs on every attempt, before the memo key is formed,
+// so chaos corruption is never skipped.
+func (t *Translator) emitCandidateToks(sc *schemaArtifacts, toks []string, rng *rand.Rand) string {
 	attempts := 1
 	if t.Options.UseConstrained {
 		attempts = t.Options.MaxRepairAttempts
@@ -313,7 +354,6 @@ func (t *Translator) emitCandidate(ideal string, rng *rand.Rand) string {
 	}
 	var last string
 	for a := 0; a < attempts; a++ {
-		toks := tokenizeSQL(ideal)
 		noisy := t.Channel.Corrupt(rng, toks)
 		if t.Faults != nil {
 			// A corruption fault degrades this candidate far beyond the
@@ -322,15 +362,13 @@ func (t *Translator) emitCandidate(ideal string, rng *rand.Rand) string {
 			noisy = t.Faults.CorruptTokens("nlmodel.generate", noisy)
 		}
 		cand := strings.Join(noisy, " ")
-		if t.Options.UseConstrained {
-			cand = t.repairIdentifiers(cand)
-		}
-		last = cand
 		if !t.Options.UseConstrained {
 			return cand
 		}
-		if _, err := sqldb.Parse(cand); err == nil {
-			return cand
+		repaired, parses := sc.repairCandidate(cand)
+		last = repaired
+		if parses {
+			return repaired
 		}
 	}
 	return last
@@ -363,56 +401,7 @@ func tokenizeSQL(sql string) []string {
 // closest valid identifier (edit distance), mimicking a token mask
 // that only admits schema terms.
 func (t *Translator) repairIdentifiers(sql string) string {
-	toks, err := sqldb.Lex(sql)
-	if err != nil {
-		return sql
-	}
-	valid := t.schemaIdentifiers()
-	var out []string
-	for _, tk := range toks {
-		switch tk.Type {
-		case sqldb.TokEOF:
-		case sqldb.TokString:
-			out = append(out, "'"+strings.ReplaceAll(tk.Text, "'", "''")+"'")
-		case sqldb.TokIdent:
-			if _, ok := valid[strings.ToLower(tk.Text)]; ok {
-				out = append(out, tk.Text)
-			} else {
-				out = append(out, nearestIdentifier(tk.Text, valid))
-			}
-		default:
-			out = append(out, tk.Text)
-		}
-	}
-	return strings.Join(out, " ")
-}
-
-func (t *Translator) schemaIdentifiers() map[string]struct{} {
-	out := make(map[string]struct{})
-	for _, tbl := range t.DB.Tables() {
-		out[strings.ToLower(tbl.Name)] = struct{}{}
-		for _, c := range tbl.Schema() {
-			out[strings.ToLower(c.Name)] = struct{}{}
-		}
-	}
-	return out
-}
-
-func nearestIdentifier(tok string, valid map[string]struct{}) string {
-	tokL := strings.ToLower(tok)
-	best, bestD := tok, 1<<30
-	keys := make([]string, 0, len(valid))
-	for k := range valid {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		d := levenshtein(tokL, k)
-		if d < bestD {
-			best, bestD = k, d
-		}
-	}
-	return best
+	return schemaArtifactsFor(t.DB).repairSQL(sql)
 }
 
 // levenshtein computes edit distance with two rolling rows.

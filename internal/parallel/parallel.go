@@ -24,6 +24,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultSerialThreshold is the input size below which the helpers run
@@ -43,6 +44,16 @@ type Options struct {
 	// for any non-empty input (tests use this to exercise the
 	// parallel code on small fixtures).
 	SerialThreshold int
+	// ChunkFactor oversubscribes the chunk count: the input is split
+	// into Workers×ChunkFactor chunks consumed by exactly Workers
+	// goroutines from a shared queue (0 or 1 = one chunk per worker,
+	// the historical behavior). Oversubscription evens out skew —
+	// when chunks carry unequal work (e.g. hash-join probes over
+	// clustered keys), a stalled worker no longer leaves the rest
+	// idle. Chunk boundaries remain a pure function of
+	// (n, Workers×ChunkFactor) and results still merge in chunk
+	// order, so outputs are byte-identical for any factor.
+	ChunkFactor int
 }
 
 // Resolve returns the effective worker count: 0 maps to GOMAXPROCS
@@ -96,6 +107,43 @@ func Spans(n, chunks int) []Span {
 	return out
 }
 
+// chunks returns the effective chunk count for an input of size n:
+// Workers×ChunkFactor, clamped to n by Spans' own Resolve.
+func (o Options) chunks(n int) int {
+	w := Resolve(o.Workers, n)
+	if o.ChunkFactor > 1 {
+		return w * o.ChunkFactor
+	}
+	return w
+}
+
+// runChunks executes fn over the given spans using exactly `workers`
+// goroutines pulling chunk indices from a shared atomic counter.
+// Callers index their result/error slices by the chunk index fn
+// receives, so the ordered-merge and lowest-indexed-chunk error
+// contracts hold regardless of which worker ran which chunk.
+func runChunks(spans []Span, workers int, fn func(i int, s Span)) {
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(spans) {
+					return
+				}
+				fn(i, spans[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Do runs fn over [0, n) in parallel chunks and waits for completion.
 // Chunks must only write to disjoint state (typically out[i] for i in
 // [lo, hi)). The error returned is the lowest-indexed chunk's error —
@@ -108,17 +156,11 @@ func Do(n int, o Options, fn func(lo, hi int) error) error {
 	if o.serial(n) {
 		return fn(0, n)
 	}
-	spans := Spans(n, o.Workers)
+	spans := Spans(n, o.chunks(n))
 	errs := make([]error, len(spans))
-	var wg sync.WaitGroup
-	for i, s := range spans {
-		wg.Add(1)
-		go func(i int, s Span) {
-			defer wg.Done()
-			errs[i] = fn(s.Lo, s.Hi)
-		}(i, s)
-	}
-	wg.Wait()
+	runChunks(spans, Resolve(o.Workers, n), func(i int, s Span) {
+		errs[i] = fn(s.Lo, s.Hi)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -144,18 +186,12 @@ func MapChunks[T any](n int, o Options, fn func(lo, hi int) (T, error)) ([]T, er
 		}
 		return []T{v}, nil
 	}
-	spans := Spans(n, o.Workers)
+	spans := Spans(n, o.chunks(n))
 	results := make([]T, len(spans))
 	errs := make([]error, len(spans))
-	var wg sync.WaitGroup
-	for i, s := range spans {
-		wg.Add(1)
-		go func(i int, s Span) {
-			defer wg.Done()
-			results[i], errs[i] = fn(s.Lo, s.Hi)
-		}(i, s)
-	}
-	wg.Wait()
+	runChunks(spans, Resolve(o.Workers, n), func(i int, s Span) {
+		results[i], errs[i] = fn(s.Lo, s.Hi)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

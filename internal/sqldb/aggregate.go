@@ -303,19 +303,33 @@ func evalAggregate(f *FuncExpr, rel *relation, g *group) (storage.Value, error) 
 		vals = append(vals, v)
 	}
 	if f.Distinct {
-		seen := make(map[string]struct{}, len(vals))
-		dedup := vals[:0]
-		for _, v := range vals {
-			k := v.Kind.String() + ":" + v.String()
-			if _, ok := seen[k]; ok {
-				continue
-			}
-			seen[k] = struct{}{}
-			dedup = append(dedup, v)
-		}
-		vals = dedup
+		vals = dedupValues(vals)
 	}
-	switch f.Name {
+	return finishAggregate(f.Name, vals)
+}
+
+// dedupValues removes duplicate values in first-appearance order,
+// keyed by kind-tagged rendering (the DISTINCT aggregate semantics).
+func dedupValues(vals []storage.Value) []storage.Value {
+	seen := make(map[string]struct{}, len(vals))
+	dedup := vals[:0]
+	for _, v := range vals {
+		k := v.Kind.String() + ":" + v.String()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		dedup = append(dedup, v)
+	}
+	return dedup
+}
+
+// finishAggregate folds gathered non-NULL argument values. It is
+// shared by the row and vectorized engines so accumulation order —
+// float summation order, MIN/MAX comparison order — is one piece of
+// code, not two that could drift.
+func finishAggregate(name string, vals []storage.Value) (storage.Value, error) {
+	switch name {
 	case "COUNT":
 		return storage.Int(int64(len(vals))), nil
 	case "SUM", "AVG":
@@ -327,14 +341,14 @@ func evalAggregate(f *FuncExpr, rel *relation, g *group) (storage.Value, error) 
 		for _, v := range vals {
 			fv, ok := v.AsFloat()
 			if !ok || v.Kind == storage.KindString || v.Kind == storage.KindBool {
-				return storage.Null(), fmt.Errorf("sql: %s over non-numeric value %s", f.Name, v.Kind)
+				return storage.Null(), fmt.Errorf("sql: %s over non-numeric value %s", name, v.Kind)
 			}
 			if v.Kind != storage.KindInt {
 				allInt = false
 			}
 			sum += fv
 		}
-		if f.Name == "AVG" {
+		if name == "AVG" {
 			return storage.Float(sum / float64(len(vals))), nil
 		}
 		if allInt {
@@ -351,12 +365,12 @@ func evalAggregate(f *FuncExpr, rel *relation, g *group) (storage.Value, error) 
 			if err != nil {
 				return storage.Null(), err
 			}
-			if (f.Name == "MIN" && c < 0) || (f.Name == "MAX" && c > 0) {
+			if (name == "MIN" && c < 0) || (name == "MAX" && c > 0) {
 				best = v
 			}
 		}
 		return best, nil
 	default:
-		return storage.Null(), fmt.Errorf("sql: unknown aggregate %s", f.Name)
+		return storage.Null(), fmt.Errorf("sql: unknown aggregate %s", name)
 	}
 }

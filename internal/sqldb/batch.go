@@ -1,0 +1,419 @@
+package sqldb
+
+import (
+	"fmt"
+
+	"github.com/reliable-cda/cda/internal/storage"
+)
+
+// This file holds the batch (columnar) execution substrate: the vrel
+// intermediate representation and the compiled expression kernels.
+//
+// The row executor (exec.go) evaluates the Expr AST once per row,
+// re-resolving every column reference by a linear scan over the schema
+// and materializing a fresh []storage.Value per scanned row. The
+// vectorized executor instead keeps data in column vectors (zero-copy
+// views of storage.Table for base scans), tracks surviving rows in a
+// selection vector, and compiles each expression once per relation
+// schema into a closure tree with column indexes already bound.
+//
+// Semantics are identical BY CONSTRUCTION, not by reimplementation:
+// every kernel mirrors the corresponding evalExpr case statement for
+// statement, calls the same helpers (Value.Compare, evalArith,
+// evalScalar, isTrue, likeMatch), and preserves evaluation order —
+// including which sub-expression errors first and that unresolvable
+// columns fail at evaluation time, not compile time (a query over an
+// empty table must succeed even if it references unknown columns,
+// exactly as the row engine behaves).
+
+// vrel is the columnar intermediate relation: parallel column vectors
+// with an optional selection vector of surviving physical rows.
+type vrel struct {
+	aliases []string // per column
+	names   []string // per column
+	// cols are the physical column vectors; for base-table scans they
+	// alias storage.Table's backing slices (zero copy) and must be
+	// treated as read-only.
+	cols  [][]storage.Value
+	nphys int
+	// sel lists the selected physical row indexes in ascending order;
+	// nil means all rows are selected. Filters refine sel without
+	// touching cols, so a scan+filter never copies values.
+	sel []int
+	// base, when non-empty, names the base table: provenance is the
+	// identity {base, phys} and is materialized lazily only for rows
+	// that survive to a join or projection (the row engine allocates a
+	// RowRef slice for every scanned row up front).
+	base string
+	// prov holds explicit per-physical-row provenance for derived
+	// relations (join outputs, streaming accumulators).
+	prov [][]RowRef
+}
+
+func (vr *vrel) resolve(ref *ColumnRef) (int, error) {
+	return resolveColumn(vr.aliases, vr.names, ref)
+}
+
+// length returns the selected row count.
+func (vr *vrel) length() int {
+	if vr.sel == nil {
+		return vr.nphys
+	}
+	return len(vr.sel)
+}
+
+// phys maps a selection position to its physical row index.
+func (vr *vrel) phys(pos int) int {
+	if vr.sel == nil {
+		return pos
+	}
+	return vr.sel[pos]
+}
+
+// provOf returns the provenance of one physical row. Callers must not
+// mutate the result (derived relations share the stored slice, exactly
+// as the row engine shares rel.prov[i]).
+func (vr *vrel) provOf(phys int) []RowRef {
+	if vr.base != "" {
+		return []RowRef{{Table: vr.base, Row: phys}}
+	}
+	if vr.prov == nil {
+		return nil
+	}
+	return vr.prov[phys]
+}
+
+// vctx addresses one row during kernel evaluation. For join
+// conditions the row is a virtual concatenation of a left and right
+// relation: columns at index >= split come from rcols at rphys. This
+// lets ON/residual predicates run without materializing combined rows.
+type vctx struct {
+	cols  [][]storage.Value
+	phys  int
+	rcols [][]storage.Value
+	rphys int
+	split int
+}
+
+func (c *vctx) col(i int) storage.Value {
+	if c.rcols != nil && i >= c.split {
+		return c.rcols[i-c.split][c.rphys]
+	}
+	return c.cols[i][c.phys]
+}
+
+// vkernel is a compiled scalar expression: evaluate against one row
+// addressed by the context. Kernels are pure and re-entrant (no shared
+// scratch), so parallel chunks may share one kernel tree.
+type vkernel func(c *vctx) (storage.Value, error)
+
+// vcompiler compiles expressions against one relation schema. The
+// cache is keyed by AST node identity so group-scope evaluation, which
+// revisits the same argument expression once per group, compiles it
+// only once. The cache is not goroutine-safe; compile before fanning
+// out (compiled kernels themselves are safe to share).
+type vcompiler struct {
+	res   columnResolver
+	cache map[Expr]vkernel
+}
+
+// kernel returns the cached kernel for e, compiling on first use.
+func (vc *vcompiler) kernel(e Expr) vkernel {
+	if k, ok := vc.cache[e]; ok {
+		return k
+	}
+	if vc.cache == nil {
+		vc.cache = make(map[Expr]vkernel)
+	}
+	k := vc.compile(e)
+	vc.cache[e] = k
+	return k
+}
+
+// errKernel defers an error to evaluation time: the row engine only
+// surfaces resolution (and shape) errors when a row is actually
+// evaluated, so a filter over an empty relation must not fail.
+func errKernel(err error) vkernel {
+	return func(*vctx) (storage.Value, error) { return storage.Null(), err }
+}
+
+// compile builds the kernel tree for e. Each case mirrors the matching
+// evalExpr case, with column resolution hoisted out of the per-row
+// path.
+func (vc *vcompiler) compile(e Expr) vkernel {
+	switch x := e.(type) {
+	case *Literal:
+		v := x.Val
+		return func(*vctx) (storage.Value, error) { return v, nil }
+	case *ColumnRef:
+		idx, err := vc.res.resolve(x)
+		if err != nil {
+			return errKernel(err)
+		}
+		return func(c *vctx) (storage.Value, error) { return c.col(idx), nil }
+	case *BinaryExpr:
+		return vc.compileBinary(x)
+	case *UnaryExpr:
+		inner := vc.compile(x.Expr)
+		switch x.Op {
+		case "NOT":
+			return func(c *vctx) (storage.Value, error) {
+				v, err := inner(c)
+				if err != nil {
+					return storage.Null(), err
+				}
+				if v.IsNull() {
+					return storage.Null(), nil
+				}
+				return storage.Bool(!isTrue(v)), nil
+			}
+		case "-":
+			return func(c *vctx) (storage.Value, error) {
+				v, err := inner(c)
+				if err != nil {
+					return storage.Null(), err
+				}
+				switch v.Kind {
+				case storage.KindInt:
+					return storage.Int(-v.I), nil
+				case storage.KindFloat:
+					return storage.Float(-v.F), nil
+				case storage.KindNull:
+					return storage.Null(), nil
+				default:
+					return storage.Null(), fmt.Errorf("sql: cannot negate %s", v.Kind)
+				}
+			}
+		default:
+			op := x.Op
+			return func(c *vctx) (storage.Value, error) {
+				// The row engine evaluates the operand before rejecting
+				// the operator, so operand errors win.
+				if _, err := inner(c); err != nil {
+					return storage.Null(), err
+				}
+				return storage.Null(), fmt.Errorf("sql: unknown unary operator %q", op)
+			}
+		}
+	case *InExpr:
+		expr := vc.compile(x.Expr)
+		items := make([]vkernel, len(x.List))
+		for i, item := range x.List {
+			items[i] = vc.compile(item)
+		}
+		not := x.Not
+		return func(c *vctx) (storage.Value, error) {
+			v, err := expr(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			if v.IsNull() {
+				return storage.Null(), nil
+			}
+			found := false
+			for _, item := range items {
+				iv, err := item(c)
+				if err != nil {
+					return storage.Null(), err
+				}
+				if v.Equal(iv) {
+					found = true
+					break
+				}
+			}
+			return storage.Bool(found != not), nil
+		}
+	case *BetweenExpr:
+		expr := vc.compile(x.Expr)
+		lo := vc.compile(x.Lo)
+		hi := vc.compile(x.Hi)
+		not := x.Not
+		return func(c *vctx) (storage.Value, error) {
+			v, err := expr(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			lv, err := lo(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			hv, err := hi(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			if v.IsNull() || lv.IsNull() || hv.IsNull() {
+				return storage.Null(), nil
+			}
+			cl, err := v.Compare(lv)
+			if err != nil {
+				return storage.Null(), err
+			}
+			ch, err := v.Compare(hv)
+			if err != nil {
+				return storage.Null(), err
+			}
+			in := cl >= 0 && ch <= 0
+			return storage.Bool(in != not), nil
+		}
+	case *IsNullExpr:
+		inner := vc.compile(x.Expr)
+		not := x.Not
+		return func(c *vctx) (storage.Value, error) {
+			v, err := inner(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			return storage.Bool(v.IsNull() != not), nil
+		}
+	case *ScalarExpr:
+		argKs := make([]vkernel, len(x.Args))
+		for i, a := range x.Args {
+			argKs[i] = vc.compile(a)
+		}
+		name := x.Name
+		return func(c *vctx) (storage.Value, error) {
+			args := make([]storage.Value, len(argKs))
+			for i, k := range argKs {
+				v, err := k(c)
+				if err != nil {
+					return storage.Null(), err
+				}
+				args[i] = v
+			}
+			return evalScalar(name, args)
+		}
+	case *FuncExpr:
+		return errKernel(fmt.Errorf("sql: aggregate %s used outside GROUP BY context", x.Name))
+	case *Star:
+		return errKernel(fmt.Errorf("sql: * is not a scalar expression"))
+	default:
+		return errKernel(fmt.Errorf("sql: unsupported expression %T", e))
+	}
+}
+
+// compileBinary mirrors evalBinary: AND/OR short-circuit with SQL
+// three-valued semantics, comparisons through Value.Compare,
+// arithmetic through evalArith, LIKE through likeMatch.
+func (vc *vcompiler) compileBinary(x *BinaryExpr) vkernel {
+	lk := vc.compile(x.Left)
+	rk := vc.compile(x.Right)
+	op := x.Op
+	switch op {
+	case "AND":
+		return func(c *vctx) (storage.Value, error) {
+			l, err := lk(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			if !l.IsNull() && !isTrue(l) {
+				return storage.Bool(false), nil
+			}
+			r, err := rk(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			if l.IsNull() || r.IsNull() {
+				if !r.IsNull() && !isTrue(r) {
+					return storage.Bool(false), nil
+				}
+				return storage.Null(), nil
+			}
+			return storage.Bool(isTrue(l) && isTrue(r)), nil
+		}
+	case "OR":
+		return func(c *vctx) (storage.Value, error) {
+			l, err := lk(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			if !l.IsNull() && isTrue(l) {
+				return storage.Bool(true), nil
+			}
+			r, err := rk(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			if l.IsNull() || r.IsNull() {
+				if !r.IsNull() && isTrue(r) {
+					return storage.Bool(true), nil
+				}
+				return storage.Null(), nil
+			}
+			return storage.Bool(isTrue(l) || isTrue(r)), nil
+		}
+	case "=", "!=", "<", "<=", ">", ">=":
+		return func(c *vctx) (storage.Value, error) {
+			l, err := lk(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			r, err := rk(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			if l.IsNull() || r.IsNull() {
+				return storage.Null(), nil
+			}
+			cmp, err := l.Compare(r)
+			if err != nil {
+				return storage.Null(), err
+			}
+			var b bool
+			switch op {
+			case "=":
+				b = cmp == 0
+			case "!=":
+				b = cmp != 0
+			case "<":
+				b = cmp < 0
+			case "<=":
+				b = cmp <= 0
+			case ">":
+				b = cmp > 0
+			case ">=":
+				b = cmp >= 0
+			}
+			return storage.Bool(b), nil
+		}
+	case "+", "-", "*", "/", "%":
+		return func(c *vctx) (storage.Value, error) {
+			l, err := lk(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			r, err := rk(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			return evalArith(op, l, r)
+		}
+	case "LIKE":
+		return func(c *vctx) (storage.Value, error) {
+			l, err := lk(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			r, err := rk(c)
+			if err != nil {
+				return storage.Null(), err
+			}
+			if l.IsNull() || r.IsNull() {
+				return storage.Null(), nil
+			}
+			if l.Kind != storage.KindString || r.Kind != storage.KindString {
+				return storage.Null(), fmt.Errorf("sql: LIKE requires string operands")
+			}
+			return storage.Bool(likeMatch(l.S, r.S)), nil
+		}
+	default:
+		return func(c *vctx) (storage.Value, error) {
+			if _, err := lk(c); err != nil {
+				return storage.Null(), err
+			}
+			if _, err := rk(c); err != nil {
+				return storage.Null(), err
+			}
+			return storage.Null(), fmt.Errorf("sql: unknown operator %q", op)
+		}
+	}
+}

@@ -63,12 +63,25 @@ type relation struct {
 }
 
 func (rel *relation) resolve(ref *ColumnRef) (int, error) {
+	return resolveColumn(rel.aliases, rel.names, ref)
+}
+
+// columnResolver abstracts column lookup over a relation schema; both
+// the row engine's relation and the columnar vrel implement it, so the
+// planner (pushdown, equi-join detection) serves both executors.
+type columnResolver interface {
+	resolve(ref *ColumnRef) (int, error)
+}
+
+// resolveColumn finds the unique column matching ref
+// (case-insensitive, optionally alias-qualified).
+func resolveColumn(aliases, names []string, ref *ColumnRef) (int, error) {
 	found := -1
-	for i := range rel.names {
-		if !strings.EqualFold(rel.names[i], ref.Column) {
+	for i := range names {
+		if !strings.EqualFold(names[i], ref.Column) {
 			continue
 		}
-		if ref.Table != "" && !strings.EqualFold(rel.aliases[i], ref.Table) {
+		if ref.Table != "" && !strings.EqualFold(aliases[i], ref.Table) {
 			continue
 		}
 		if found >= 0 {
@@ -114,11 +127,23 @@ type Engine struct {
 	// stay serial (0 = parallel.DefaultSerialThreshold). Tests set 1
 	// to force the parallel path on small fixtures.
 	ParallelThreshold int
+	// RowOracle forces the legacy row-at-a-time executor. The default
+	// (false) runs the vectorized columnar engine; the row path is
+	// kept as the differential-testing oracle — same Result, Stats,
+	// Prov, Fingerprint, and errors, enforced by the fuzz and
+	// determinism suites.
+	RowOracle bool
 }
+
+// execChunkFactor oversubscribes parallel chunks (workers × factor)
+// so skewed chunks — hash-join probes over clustered keys, filters
+// with uneven selectivity — stop gating the whole pool on the slowest
+// worker. Results are unaffected: chunk outputs merge in chunk order.
+const execChunkFactor = 8
 
 // parOptions assembles the fan-out knobs for the parallel operators.
 func (e *Engine) parOptions() parallel.Options {
-	return parallel.Options{Workers: e.Workers, SerialThreshold: e.ParallelThreshold}
+	return parallel.Options{Workers: e.Workers, SerialThreshold: e.ParallelThreshold, ChunkFactor: execChunkFactor}
 }
 
 // NewEngine creates an engine with provenance capture enabled.
@@ -135,13 +160,24 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	return e.Execute(stmt)
 }
 
-// Execute runs a parsed statement.
+// Execute runs a parsed statement. The columnar engine is the
+// default; RowOracle selects the legacy row-at-a-time path (the
+// differential-testing oracle). Both produce byte-identical results.
 func (e *Engine) Execute(stmt *SelectStmt) (*Result, error) {
 	if e.Faults != nil {
 		if err := e.Faults.Inject("sqldb.execute"); err != nil {
 			return nil, err
 		}
 	}
+	if e.RowOracle {
+		return e.executeRow(stmt)
+	}
+	return e.executeVec(stmt)
+}
+
+// executeRow is the row-at-a-time pipeline: scan → pushdown → joins →
+// residual filter → aggregation/projection.
+func (e *Engine) executeRow(stmt *SelectStmt) (*Result, error) {
 	var stats Stats
 
 	rel, err := e.scan(stmt.From, stmt.FromAl, &stats)
@@ -208,7 +244,13 @@ func (e *Engine) Execute(stmt *SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return finishResult(stmt, res, &stats), nil
+}
 
+// finishResult applies the post-projection stages shared by both
+// engines (and the streaming snapshots): DISTINCT, OFFSET, LIMIT, and
+// the final stats stamp.
+func finishResult(stmt *SelectStmt, res *Result, stats *Stats) *Result {
 	if stmt.Distinct {
 		res = distinct(res)
 	}
@@ -229,9 +271,9 @@ func (e *Engine) Execute(stmt *SelectStmt) (*Result, error) {
 		}
 	}
 	stats.RowsOutput = len(res.Rows)
-	res.Stats = stats
+	res.Stats = *stats
 	res.Stmt = stmt
-	return res, nil
+	return res
 }
 
 func (e *Engine) scan(table, alias string, stats *Stats) (*relation, error) {

@@ -125,3 +125,75 @@ func TestParallelExecutionErrorMatchesSerial(t *testing.T) {
 		t.Fatalf("error diverged: serial %q, parallel %q", serr, perr)
 	}
 }
+
+// TestVectorizedMatchesRowOracleAcrossWorkers runs the determinism
+// query set through the row oracle and the vectorized engine across
+// worker counts and both optimizer settings: every combination must
+// agree on Rows, Prov, Stats, and Fingerprint bit-for-bit.
+func TestVectorizedMatchesRowOracleAcrossWorkers(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		db := genJoinDB(4000, 200, seed)
+		for _, disableOpt := range []bool{false, true} {
+			oracle := NewEngine(db)
+			oracle.RowOracle = true
+			oracle.Workers = 1
+			oracle.DisableOptimizations = disableOpt
+			for _, workers := range []int{1, 2, 8} {
+				vec := NewEngine(db)
+				vec.Workers = workers
+				vec.ParallelThreshold = 1
+				vec.DisableOptimizations = disableOpt
+				for _, q := range parallelPropQueries {
+					want, err := oracle.Query(q)
+					if err != nil {
+						t.Fatalf("oracle %q: %v", q, err)
+					}
+					got, err := vec.Query(q)
+					if err != nil {
+						t.Fatalf("vectorized(w=%d,noopt=%v) %q: %v", workers, disableOpt, q, err)
+					}
+					if want.Fingerprint() != got.Fingerprint() {
+						t.Fatalf("w=%d noopt=%v %q: fingerprints differ", workers, disableOpt, q)
+					}
+					if !reflect.DeepEqual(want.Rows, got.Rows) {
+						t.Fatalf("w=%d noopt=%v %q: rows differ", workers, disableOpt, q)
+					}
+					if !reflect.DeepEqual(want.Prov, got.Prov) {
+						t.Fatalf("w=%d noopt=%v %q: provenance differs", workers, disableOpt, q)
+					}
+					if want.Stats != got.Stats {
+						t.Fatalf("w=%d noopt=%v %q: stats %+v, want %+v", workers, disableOpt, q, got.Stats, want.Stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVectorizedErrorMatchesRowOracle: evaluation errors in scans,
+// projections, and aggregates must surface with identical text and
+// identical first-error selection under both engines.
+func TestVectorizedErrorMatchesRowOracle(t *testing.T) {
+	db := genJoinDB(3000, 50, 4)
+	oracle := NewEngine(db)
+	oracle.RowOracle = true
+	vec := NewEngine(db)
+	vec.Workers = 8
+	vec.ParallelThreshold = 1
+	for _, q := range []string{
+		"SELECT * FROM facts WHERE grp + 1 > 0",          // filter eval error
+		"SELECT v + grp FROM facts",                      // projection eval error
+		"SELECT SUM(grp) FROM facts",                     // aggregate over strings
+		"SELECT nosuch FROM facts",                       // unknown column
+		"SELECT f.v FROM facts f JOIN dims d ON f.k = d.k WHERE d.label - 1 > 0", // residual eval error
+	} {
+		_, oerr := oracle.Query(q)
+		_, verr := vec.Query(q)
+		if oerr == nil || verr == nil {
+			t.Fatalf("%q: expected both engines to fail, oracle=%v vectorized=%v", q, oerr, verr)
+		}
+		if oerr.Error() != verr.Error() {
+			t.Fatalf("%q: error diverged oracle %q vectorized %q", q, oerr, verr)
+		}
+	}
+}

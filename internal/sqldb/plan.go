@@ -39,7 +39,7 @@ func conjoin(parts []Expr) Expr {
 
 // resolvableIn reports whether every column reference of the
 // expression resolves unambiguously in the relation.
-func resolvableIn(e Expr, rel *relation) bool {
+func resolvableIn(e Expr, rel columnResolver) bool {
 	var refs []*ColumnRef
 	columnRefs(e, &refs)
 	if len(refs) == 0 {
@@ -55,7 +55,7 @@ func resolvableIn(e Expr, rel *relation) bool {
 
 // pushDown splits predicates into those evaluable against rel and the
 // remainder.
-func pushDown(preds []Expr, rel *relation) (pushed, rest []Expr) {
+func pushDown(preds []Expr, rel columnResolver) (pushed, rest []Expr) {
 	for _, p := range preds {
 		if containsAggregate(p) {
 			rest = append(rest, p)
@@ -111,7 +111,7 @@ func (e *Engine) filterRelation(rel *relation, preds []Expr) (*relation, error) 
 // equiJoinKey finds one `a = b` conjunct with a resolving in left and
 // b in right (either order), returning the column indexes and the
 // residual conjuncts.
-func equiJoinKey(on Expr, left, right *relation) (li, ri int, residual []Expr, ok bool) {
+func equiJoinKey(on Expr, left, right columnResolver) (li, ri int, residual []Expr, ok bool) {
 	parts := conjuncts(on)
 	for idx, p := range parts {
 		b, isBin := p.(*BinaryExpr)

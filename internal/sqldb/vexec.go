@@ -1,0 +1,422 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/reliable-cda/cda/internal/parallel"
+	"github.com/reliable-cda/cda/internal/storage"
+)
+
+// This file is the batch-at-a-time executor: the same pipeline as
+// executeRow (scan → pushdown → joins → residual filter →
+// aggregation/projection) over the vrel columnar representation.
+// Every operator preserves row order and first-error order, so
+// Result, Stats, Prov, and Fingerprint are byte-identical to the row
+// engine's — a property the differential tests in fuzz_test.go and
+// parallel_determinism_test.go enforce against the RowOracle flag.
+
+// executeVec runs the columnar pipeline. Structure mirrors executeRow
+// stage for stage so the two engines stay diffable side by side.
+func (e *Engine) executeVec(stmt *SelectStmt) (*Result, error) {
+	var stats Stats
+
+	vr, err := e.vScan(stmt.From, stmt.FromAl, &stats)
+	if err != nil {
+		return nil, err
+	}
+	var wherePreds []Expr
+	if stmt.Where != nil {
+		if containsAggregate(stmt.Where) {
+			return nil, fmt.Errorf("sql: aggregates are not allowed in WHERE")
+		}
+		wherePreds = conjuncts(stmt.Where)
+	}
+	if !e.DisableOptimizations && len(stmt.Joins) > 0 {
+		var pushed []Expr
+		pushed, wherePreds = pushDown(wherePreds, vr)
+		stats.PushedPredicates += len(pushed)
+		vr, err = e.vFilter(vr, pushed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, jc := range stmt.Joins {
+		right, err := e.vScan(jc.Table, jc.Alias, &stats)
+		if err != nil {
+			return nil, err
+		}
+		if !e.DisableOptimizations {
+			var pushed []Expr
+			pushed, wherePreds = pushDown(wherePreds, right)
+			stats.PushedPredicates += len(pushed)
+			right, err = e.vFilter(right, pushed)
+			if err != nil {
+				return nil, err
+			}
+			if li, ri, residual, ok := equiJoinKey(jc.On, vr, right); ok {
+				stats.HashJoins++
+				buckets := buildBuckets(right, ri)
+				vr, err = e.vProbeJoin(vr, right, li, buckets, residual, &stats)
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		vr, err = e.vNestedJoin(vr, right, jc.On, &stats)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cond := conjoin(wherePreds); cond != nil {
+		vr, err = e.vFilter(vr, wherePreds)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var res *Result
+	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
+		res, err = e.vExecuteAggregate(stmt, vr)
+	} else {
+		res, err = e.vProjection(stmt, vr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return finishResult(stmt, res, &stats), nil
+}
+
+// vScan opens a zero-copy columnar view of a base table: no per-row
+// materialization, no provenance allocation (provOf derives {table,
+// row} lazily for rows that survive).
+func (e *Engine) vScan(table, alias string, stats *Stats) (*vrel, error) {
+	t, err := e.DB.Get(table)
+	if err != nil {
+		return nil, err
+	}
+	if alias == "" {
+		alias = table
+	}
+	vr := &vrel{cols: t.Columns(), nphys: t.NumRows()}
+	for _, c := range t.Schema() {
+		vr.aliases = append(vr.aliases, alias)
+		vr.names = append(vr.names, c.Name)
+	}
+	stats.RowsScanned += vr.nphys
+	if e.CaptureProvenance {
+		vr.base = t.Name
+	}
+	return vr, nil
+}
+
+// vFilter refines the selection vector by the conjoined predicates.
+// Chunks scan selection positions in order and chunk survivors merge
+// in chunk order, so the surviving rows — and the first evaluation
+// error — are identical to a serial scan for any chunking.
+func (e *Engine) vFilter(vr *vrel, preds []Expr) (*vrel, error) {
+	if len(preds) == 0 {
+		return vr, nil
+	}
+	cond := conjoin(preds)
+	k := (&vcompiler{res: vr}).compile(cond)
+	n := vr.length()
+	chunks, err := parallel.MapChunks(n, e.parOptions(), func(lo, hi int) ([]int, error) {
+		keep := make([]int, 0, hi-lo)
+		ctx := vctx{cols: vr.cols}
+		for pos := lo; pos < hi; pos++ {
+			ctx.phys = vr.phys(pos)
+			v, err := k(&ctx)
+			if err != nil {
+				return nil, err
+			}
+			if isTrue(v) {
+				keep = append(keep, ctx.phys)
+			}
+		}
+		return keep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	sel := make([]int, 0, total)
+	for _, c := range chunks {
+		sel = append(sel, c...)
+	}
+	out := *vr
+	out.sel = sel
+	return &out, nil
+}
+
+// buildBuckets builds the hash-join table over the right relation's
+// key column: valueKey → physical row indexes in selection order
+// (matching the row engine's bucket order over surviving rows).
+func buildBuckets(right *vrel, ri int) map[string][]int {
+	col := right.cols[ri]
+	n := right.length()
+	buckets := make(map[string][]int, n)
+	for pos := 0; pos < n; pos++ {
+		rp := right.phys(pos)
+		if key, ok := valueKey(col[rp]); ok {
+			buckets[key] = append(buckets[key], rp)
+		}
+	}
+	return buckets
+}
+
+// vProbeJoin probes the prebuilt buckets with the left relation in
+// parallel chunks, evaluating residual ON conjuncts on each candidate
+// pair without materializing combined rows, then gathers the matched
+// pairs into fresh output columns. Candidate order is left-row-major
+// with bucket order within a row — the row engine's exact order.
+func (e *Engine) vProbeJoin(left, right *vrel, li int, buckets map[string][]int, residual []Expr, stats *Stats) (*vrel, error) {
+	out := &vrel{
+		aliases: append(append([]string{}, left.aliases...), right.aliases...),
+		names:   append(append([]string{}, left.names...), right.names...),
+	}
+	var resid vkernel
+	if cond := conjoin(residual); cond != nil {
+		resid = (&vcompiler{res: out}).compile(cond)
+	}
+	lcol := left.cols[li]
+	split := len(left.cols)
+	type probePart struct {
+		lphys, rphys []int
+		joined       int
+	}
+	chunks, err := parallel.MapChunks(left.length(), e.parOptions(), func(lo, hi int) (*probePart, error) {
+		part := &probePart{}
+		ctx := vctx{cols: left.cols, rcols: right.cols, split: split}
+		for pos := lo; pos < hi; pos++ {
+			lp := left.phys(pos)
+			key, ok := valueKey(lcol[lp])
+			if !ok {
+				continue
+			}
+			matches := buckets[key]
+			if len(matches) == 0 {
+				continue
+			}
+			part.joined += len(matches)
+			if resid == nil {
+				for range matches {
+					part.lphys = append(part.lphys, lp)
+				}
+				part.rphys = append(part.rphys, matches...)
+				continue
+			}
+			ctx.phys = lp
+			for _, rp := range matches {
+				ctx.rphys = rp
+				v, err := resid(&ctx)
+				if err != nil {
+					return nil, err
+				}
+				if !isTrue(v) {
+					continue
+				}
+				part.lphys = append(part.lphys, lp)
+				part.rphys = append(part.rphys, rp)
+			}
+		}
+		return part, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range chunks {
+		stats.RowsJoined += p.joined
+		total += len(p.lphys)
+	}
+	lidx := make([]int, 0, total)
+	ridx := make([]int, 0, total)
+	for _, p := range chunks {
+		lidx = append(lidx, p.lphys...)
+		ridx = append(ridx, p.rphys...)
+	}
+	return e.vGatherJoin(left, right, lidx, ridx, out)
+}
+
+// vNestedJoin is the fallback O(n·m) join (non-equi ON conditions, or
+// DisableOptimizations). It stays serial like the row engine's.
+func (e *Engine) vNestedJoin(left, right *vrel, on Expr, stats *Stats) (*vrel, error) {
+	out := &vrel{
+		aliases: append(append([]string{}, left.aliases...), right.aliases...),
+		names:   append(append([]string{}, left.names...), right.names...),
+	}
+	k := (&vcompiler{res: out}).compile(on)
+	var lidx, ridx []int
+	ctx := vctx{cols: left.cols, rcols: right.cols, split: len(left.cols)}
+	nl, nr := left.length(), right.length()
+	for lpos := 0; lpos < nl; lpos++ {
+		lp := left.phys(lpos)
+		ctx.phys = lp
+		for rpos := 0; rpos < nr; rpos++ {
+			rp := right.phys(rpos)
+			stats.RowsJoined++
+			ctx.rphys = rp
+			v, err := k(&ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !isTrue(v) {
+				continue
+			}
+			lidx = append(lidx, lp)
+			ridx = append(ridx, rp)
+		}
+	}
+	return e.vGatherJoin(left, right, lidx, ridx, out)
+}
+
+// vGatherJoin materializes the joined output: fresh column vectors
+// gathered from the matched (left, right) physical row pairs, plus
+// concatenated per-row provenance (left refs then right refs, no
+// dedup — matching the row engine's join provenance).
+func (e *Engine) vGatherJoin(left, right *vrel, lidx, ridx []int, out *vrel) (*vrel, error) {
+	n := len(lidx)
+	split := len(left.cols)
+	out.cols = make([][]storage.Value, split+len(right.cols))
+	for c := range out.cols {
+		out.cols[c] = make([]storage.Value, n)
+	}
+	out.nphys = n
+	gerr := parallel.Do(n, e.parOptions(), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			lp, rp := lidx[i], ridx[i]
+			for c, col := range left.cols {
+				out.cols[c][i] = col[lp]
+			}
+			for c, col := range right.cols {
+				out.cols[split+c][i] = col[rp]
+			}
+		}
+		return nil
+	})
+	if gerr != nil {
+		return nil, gerr
+	}
+	if e.CaptureProvenance {
+		out.prov = make([][]RowRef, n)
+		perr := parallel.Do(n, e.parOptions(), func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				lrefs := left.provOf(lidx[i])
+				rrefs := right.provOf(ridx[i])
+				p := make([]RowRef, 0, len(lrefs)+len(rrefs))
+				p = append(p, lrefs...)
+				p = append(p, rrefs...)
+				out.prov[i] = p
+			}
+			return nil
+		})
+		if perr != nil {
+			return nil, perr
+		}
+	}
+	return out, nil
+}
+
+// vProjection handles non-aggregate SELECTs over a vrel. Rows are
+// produced in selection order; per-row evaluation order (items, then
+// ORDER BY keys) matches executeProjection so the first error is
+// identical; the stable sort then sees the same pre-sort order and the
+// same keys.
+func (e *Engine) vProjection(stmt *SelectStmt, vr *vrel) (*Result, error) {
+	res := &Result{}
+	if stmt.SelStar {
+		res.Columns = append(res.Columns, vr.names...)
+	} else {
+		for _, it := range stmt.Items {
+			res.Columns = append(res.Columns, it.OutputName())
+		}
+	}
+	vc := &vcompiler{res: vr}
+	var itemKs []vkernel
+	if !stmt.SelStar {
+		for _, it := range stmt.Items {
+			itemKs = append(itemKs, vc.compile(it.Expr))
+		}
+	}
+	var orderKs []vkernel
+	for _, oe := range e.orderExprs(stmt) {
+		orderKs = append(orderKs, vc.compile(oe))
+	}
+
+	type keyed struct {
+		row  []storage.Value
+		prov []RowRef
+		keys []storage.Value
+	}
+	n := vr.length()
+	chunks, err := parallel.MapChunks(n, e.parOptions(), func(lo, hi int) ([]keyed, error) {
+		part := make([]keyed, 0, hi-lo)
+		ctx := vctx{cols: vr.cols}
+		for pos := lo; pos < hi; pos++ {
+			p := vr.phys(pos)
+			ctx.phys = p
+			var projected []storage.Value
+			if stmt.SelStar {
+				projected = make([]storage.Value, len(vr.cols))
+				for c, col := range vr.cols {
+					projected[c] = col[p]
+				}
+			} else {
+				projected = make([]storage.Value, len(itemKs))
+				for j, k := range itemKs {
+					v, err := k(&ctx)
+					if err != nil {
+						return nil, err
+					}
+					projected[j] = v
+				}
+			}
+			kd := keyed{row: projected}
+			if e.CaptureProvenance {
+				kd.prov = vr.provOf(p)
+			}
+			for _, ok := range orderKs {
+				v, err := ok(&ctx)
+				if err != nil {
+					return nil, err
+				}
+				kd.keys = append(kd.keys, v)
+			}
+			part = append(part, kd)
+		}
+		return part, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []keyed
+	if len(chunks) == 1 {
+		out = chunks[0]
+	} else {
+		total := 0
+		for _, c := range chunks {
+			total += len(c)
+		}
+		out = make([]keyed, 0, total)
+		for _, c := range chunks {
+			out = append(out, c...)
+		}
+	}
+	if len(orderKs) > 0 {
+		sort.SliceStable(out, func(i, j int) bool {
+			return compareKeySlices(out[i].keys, out[j].keys, stmt.OrderBy) < 0
+		})
+	}
+	for _, k := range out {
+		res.Rows = append(res.Rows, k.row)
+		if e.CaptureProvenance {
+			res.Prov = append(res.Prov, k.prov)
+		}
+	}
+	return res, nil
+}

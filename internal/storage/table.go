@@ -126,6 +126,24 @@ func (t *Table) Row(i int) []Value {
 // as read-only.
 func (t *Table) Column(i int) []Value { return t.cols[i] }
 
+// Columns returns the backing column slices in schema order; callers
+// must treat them as read-only. This is the zero-copy entry point for
+// columnar (batch-at-a-time) execution: the SQL engine's vectorized
+// scan operates directly over these slices instead of materializing
+// per-row value slices.
+func (t *Table) Columns() [][]Value { return t.cols }
+
+// Kinds returns the schema kinds in column order. AppendRow enforces
+// that every stored cell is either NULL or its column's kind, so
+// vectorized kernels may specialize on these kinds safely.
+func (t *Table) Kinds() []Kind {
+	out := make([]Kind, len(t.schema))
+	for i, c := range t.schema {
+		out[i] = c.Kind
+	}
+	return out
+}
+
 // ColumnByName returns the backing slice for the named column.
 func (t *Table) ColumnByName(name string) ([]Value, error) {
 	i := t.schema.ColumnIndex(name)

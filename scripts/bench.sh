@@ -13,11 +13,20 @@
 # commit, fsync commit, recovery replay, lookup) and writes it to
 # BENCH_sessionstore.json the same way.
 #
+# A third pass snapshots the columnar-engine suite plus the end-to-end
+# E-benches into BENCH_vectorized.json — the candidate file that
+# scripts/benchdiff.go compares against the committed
+# BENCH_baseline.json (any E-bench more than 10% slower fails):
+#
+#   go run scripts/benchdiff.go BENCH_baseline.json BENCH_vectorized.json
+#
 # BENCHTIME (default 1x) controls -benchtime; use e.g. BENCHTIME=2s
-# for stable numbers, 1x for a smoke snapshot. OUT / OUT_SESSIONSTORE
-# override the output paths. The parallel families run the same
-# fixture at workers=1 (the exact serial path) and several widths, so
-# the baseline file doubles as the serial-vs-parallel comparison table.
+# for stable numbers, 1x for a smoke snapshot. OUT / OUT_SESSIONSTORE /
+# OUT_VECTORIZED override the output paths. The parallel families run
+# the same fixture at workers=1 (the exact serial path) and several
+# widths, so the baseline file doubles as the serial-vs-parallel
+# comparison table; the vectorized families run engine=row vs
+# engine=vec, the row-vs-columnar table.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +34,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_baseline.json}"
 OUT_SESSIONSTORE="${OUT_SESSIONSTORE:-BENCH_sessionstore.json}"
+OUT_VECTORIZED="${OUT_VECTORIZED:-BENCH_vectorized.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -55,3 +65,4 @@ bench_json() {
 
 bench_json '^(BenchmarkE|BenchmarkParallel)' . "$OUT"
 bench_json '^BenchmarkSessionStore' ./internal/sessionstore "$OUT_SESSIONSTORE"
+bench_json '^(BenchmarkE|BenchmarkVectorized)' . "$OUT_VECTORIZED"

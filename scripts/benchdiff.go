@@ -1,0 +1,117 @@
+// Command benchdiff compares two bench.sh JSON snapshots and fails
+// when a benchmark regresses.
+//
+// Usage:
+//
+//	go run scripts/benchdiff.go [flags] OLD.json NEW.json
+//
+//	-prefix    comma-separated benchmark-name prefixes to guard
+//	           (default "BenchmarkE", the end-to-end experiment
+//	           benches); other entries are reported but never fail
+//	-threshold allowed fractional ns/op growth (default 0.10)
+//
+// Every guarded benchmark present in OLD must be present in NEW —
+// silently dropping a bench would otherwise read as "no regression" —
+// and its ns/op must not grow by more than the threshold. Exit status
+// is 1 on any violation, with a per-benchmark table on stdout either
+// way.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// entry mirrors one element of bench.sh's JSON output.
+type entry struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func load(path string) (map[string]float64, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var entries []entry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]float64, len(entries))
+	order := make([]string, 0, len(entries))
+	for _, e := range entries {
+		ns, ok := e.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		if _, dup := byName[e.Name]; !dup {
+			order = append(order, e.Name)
+		}
+		byName[e.Name] = ns
+	}
+	return byName, order, nil
+}
+
+func guarded(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	prefix := flag.String("prefix", "BenchmarkE", "comma-separated name prefixes that must not regress")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional ns/op growth for guarded benchmarks")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-prefix P1,P2] [-threshold F] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldNS, oldOrder, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newNS, _, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	prefixes := strings.Split(*prefix, ",")
+	sort.Strings(oldOrder)
+
+	fmt.Printf("%-55s %15s %15s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	failures := 0
+	for _, name := range oldOrder {
+		o := oldNS[name]
+		n, ok := newNS[name]
+		guard := guarded(name, prefixes)
+		if !ok {
+			if guard {
+				fmt.Printf("%-55s %15.0f %15s %9s  FAIL (missing from %s)\n", name, o, "-", "-", flag.Arg(1))
+				failures++
+			}
+			continue
+		}
+		delta := (n - o) / o
+		mark := ""
+		if guard && delta > *threshold {
+			mark = fmt.Sprintf("  FAIL (> %+.0f%%)", *threshold*100)
+			failures++
+		}
+		fmt.Printf("%-55s %15.0f %15.0f %+8.1f%%%s\n", name, o, n, delta*100, mark)
+	}
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d guarded benchmark(s) regressed beyond %.0f%% (prefixes: %s)\n",
+			failures, *threshold*100, *prefix)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no guarded regressions")
+}

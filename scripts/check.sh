@@ -33,10 +33,10 @@
 #                      compaction, TTL eviction, load shedding)
 #   8. go test -race — full test suite under the race detector
 #   9. bench smoke   — one iteration of every BenchmarkParallel*,
-#                      BenchmarkResilience*, BenchmarkSessionStore*,
-#                      BenchmarkCdalint, and BenchmarkCdastate so a
-#                      broken benchmark fixture fails the gate, not the
-#                      next perf investigation
+#                      BenchmarkResilience*, BenchmarkVectorized*,
+#                      BenchmarkSessionStore*, BenchmarkCdalint, and
+#                      BenchmarkCdastate so a broken benchmark fixture
+#                      fails the gate, not the next perf investigation
 #
 # Any non-zero exit fails the gate. See README "Static analysis &
 # reliability invariants" for what each cdalint rule enforces.
@@ -77,8 +77,8 @@ go test -race -run 'TestSessionSurvivesRestart|TestTranscriptPagination|TestEvic
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> parallel + resilience benchmark smoke (1 iteration)"
-go test -run='^$' -bench='^Benchmark(Parallel|Resilience)' -benchtime=1x .
+echo "==> parallel + resilience + vectorized benchmark smoke (1 iteration)"
+go test -run='^$' -bench='^Benchmark(Parallel|Resilience|Vectorized)' -benchtime=1x .
 
 echo "==> session store benchmark smoke (1 iteration)"
 go test -run='^$' -bench='^BenchmarkSessionStore' -benchtime=1x ./internal/sessionstore

@@ -1,0 +1,137 @@
+package cda
+
+// vectorized_bench_test.go benchmarks the columnar engine against the
+// row-at-a-time oracle it replaced. Every BenchmarkVectorized* family
+// runs the same fixture through engine=row (Engine.RowOracle, the
+// legacy path kept as the differential-testing oracle) and engine=vec
+// (the default columnar path), so
+//
+//	go test -bench='^BenchmarkVectorized'
+//
+// reads as a row-vs-columnar table. The engines are byte-identical by
+// construction — Rows, Prov, Stats, and Fingerprint all match, which
+// the differential tests in internal/sqldb enforce; these benches
+// measure only the speed side. scripts/bench.sh snapshots them (third
+// pass) into BENCH_vectorized.json and scripts/benchdiff.go fails if
+// any E-bench regressed against BENCH_baseline.json.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/sqldb"
+)
+
+// vectorizedEngines yields the two engine configurations under test.
+func vectorizedEngines(b *testing.B, run func(b *testing.B, mk func() *sqldb.Engine)) {
+	db := parallelBenchDB(120000, 300)
+	for _, cfg := range []struct {
+		name string
+		row  bool
+	}{{"engine=row", true}, {"engine=vec", false}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			run(b, func() *sqldb.Engine {
+				e := sqldb.NewEngine(db)
+				e.RowOracle = cfg.row
+				return e
+			})
+		})
+	}
+}
+
+func BenchmarkVectorizedFilterScan(b *testing.B) {
+	vectorizedEngines(b, func(b *testing.B, mk func() *sqldb.Engine) {
+		e := mk()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Query("SELECT * FROM facts WHERE v > 75 AND grp = 'g3'")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				b.Fatal("empty result; fixture broken")
+			}
+		}
+	})
+}
+
+func BenchmarkVectorizedHashJoinAgg(b *testing.B) {
+	const q = "SELECT d.label, AVG(f.v) FROM facts f JOIN dims d ON f.k = d.k GROUP BY d.label ORDER BY d.label"
+	vectorizedEngines(b, func(b *testing.B, mk func() *sqldb.Engine) {
+		e := mk()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.HashJoins != 1 {
+				b.Fatalf("expected a hash join, stats = %+v", res.Stats)
+			}
+		}
+	})
+}
+
+func BenchmarkVectorizedGroupAgg(b *testing.B) {
+	const q = "SELECT grp, COUNT(*), AVG(v), MIN(v), MAX(v) FROM facts WHERE k < 200 GROUP BY grp ORDER BY grp"
+	vectorizedEngines(b, func(b *testing.B, mk func() *sqldb.Engine) {
+		e := mk()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				b.Fatal("empty result; fixture broken")
+			}
+		}
+	})
+}
+
+// BenchmarkVectorizedStreamE7 measures the streaming path end to end:
+// plan once, consume the driving table in the default four batches,
+// re-running the non-decomposable tail per snapshot. The metric to
+// compare against is BenchmarkVectorizedHashJoinAgg/engine=vec — the
+// same answer without partial results.
+func BenchmarkVectorizedStreamE7(b *testing.B) {
+	db := parallelBenchDB(120000, 300)
+	stmt, err := sqldb.Parse("SELECT d.label, AVG(f.v) FROM facts f JOIN dims d ON f.k = d.k GROUP BY d.label ORDER BY d.label")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sqldb.NewEngine(db)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		snapshots := 0
+		err := e.ExecStream(ctx, stmt, sqldb.StreamOptions{}, func(sqldb.Partial) error {
+			snapshots++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if snapshots < 2 {
+			b.Fatalf("expected streaming snapshots, got %d", snapshots)
+		}
+	}
+}
+
+// BenchmarkVectorizedProbeScaling re-measures the hash-join probe at
+// every worker count through the columnar engine — the fixture whose
+// row-engine scaling regressed at workers>=4 before chunk
+// oversubscription (parallel.Options.ChunkFactor) evened out probe
+// skew.
+func BenchmarkVectorizedProbeScaling(b *testing.B) {
+	db := parallelBenchDB(120000, 300)
+	const q = "SELECT d.label, AVG(f.v) FROM facts f JOIN dims d ON f.k = d.k GROUP BY d.label ORDER BY d.label"
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := sqldb.NewEngine(db)
+			e.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
