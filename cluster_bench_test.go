@@ -1,0 +1,155 @@
+package cda
+
+// cluster_bench_test.go measures the cluster layer's three costs:
+//
+//   - BenchmarkClusterRouterOverhead: one turn through the router —
+//     ring placement, admission, the ask on the primary, and the
+//     synchronous post-write ship to the replica — versus the same
+//     turn asked on a bare node (the replication tax per turn).
+//   - BenchmarkClusterFailover: time from a dead primary to the first
+//     successful turn on the promoted replica (kill, trip the
+//     breaker, re-ask), the whole failover path per iteration.
+//   - BenchmarkClusterReplicaRead: transcript pages served by a
+//     caught-up replica through the router's preferReplica path.
+//
+// scripts/bench.sh snapshots BenchmarkCluster* into
+// BENCH_cluster.json; the check gate runs each once as a smoke test.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/cluster"
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/resilience"
+	"github.com/reliable-cda/cda/internal/sessionstore"
+	"github.com/reliable-cda/cda/internal/workload"
+)
+
+// benchNode builds one in-process node: a fresh memory store and a
+// seeded Swiss system (virtual clock, no faults).
+func benchNode(b *testing.B, name string, seed int64) *cluster.LocalNode {
+	b.Helper()
+	dom := workload.NewSwissDomain(seed)
+	sys := core.New(core.Config{
+		DB: dom.DB, Catalog: dom.Catalog, KG: dom.KG, Vocab: dom.Vocab,
+		Documents: dom.Documents, Now: dom.Now, Seed: seed,
+		Clock: resilience.NewVirtualClock(),
+	})
+	store := sessionstore.NewMemory(sessionstore.Config{Shards: 4})
+	return cluster.NewLocalNode(name, store, sys)
+}
+
+func benchRouter(b *testing.B, seed int64, threshold int) (*cluster.Router, *cluster.LocalNode, *cluster.LocalNode) {
+	b.Helper()
+	pn := benchNode(b, "m1-primary", seed)
+	rn := benchNode(b, "m1-replica", seed)
+	router, err := cluster.NewRouter(cluster.Config{
+		Members: []cluster.Member{{Name: "m1", Primary: pn, Replica: rn}},
+		Breaker: resilience.BreakerConfig{FailureThreshold: threshold},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return router, pn, rn
+}
+
+const benchQuestion = "how many employment where canton is Zurich"
+
+func BenchmarkClusterRouterOverhead(b *testing.B) {
+	ctx := context.Background()
+	// Both arms rotate to a fresh session every turnsPerSession asks
+	// (outside the timer) so the measured turn cost does not depend on
+	// b.N via an ever-growing transcript.
+	const turnsPerSession = 64
+	b.Run("direct", func(b *testing.B) {
+		node := benchNode(b, "solo", 1)
+		var id string
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%turnsPerSession == 0 {
+				b.StopTimer()
+				id = fmt.Sprintf("s%d", i/turnsPerSession)
+				if err := node.CreateSession(ctx, id); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			if _, err := node.Ask(ctx, id, benchQuestion); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("routed+shipped", func(b *testing.B) {
+		router, _, _ := benchRouter(b, 1, 3)
+		var id string
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%turnsPerSession == 0 {
+				b.StopTimer()
+				nid, err := router.CreateSession(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				id = nid
+				b.StartTimer()
+			}
+			if _, err := router.Ask(ctx, id, benchQuestion); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkClusterFailover(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		router, pn, _ := benchRouter(b, int64(i)+1, 1)
+		id, err := router.CreateSession(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := router.Ask(ctx, id, benchQuestion); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		// The measured span: dead primary -> failed ask trips the
+		// breaker -> promoted replica serves the retry.
+		pn.Kill()
+		if _, err := router.Ask(ctx, id, benchQuestion); err == nil {
+			b.Fatal("ask on a killed primary should fail")
+		}
+		if _, err := router.Ask(ctx, id, benchQuestion); err != nil {
+			b.Fatalf("re-ask after promotion: %v", err)
+		}
+	}
+}
+
+func BenchmarkClusterReplicaRead(b *testing.B) {
+	ctx := context.Background()
+	router, _, _ := benchRouter(b, 1, 3)
+	id, err := router.CreateSession(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, q := range []string{benchQuestion, "how many employment where canton is Bern"} {
+		if _, err := router.Ask(ctx, id, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		page, err := router.Transcript(ctx, id, 0, 100, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if page.Stale {
+			b.Fatal("replica should be caught up after synchronous shipping")
+		}
+		if page.Total == 0 {
+			b.Fatal(fmt.Errorf("empty transcript for %s", id))
+		}
+	}
+}

@@ -7,6 +7,7 @@
 //	cdaserver [-addr :8080] [-seed 1] [-noise 0.05] [-csv a.csv,b.csv]
 //	          [-data-dir ./data] [-session-ttl 30m] [-shards 8]
 //	          [-snapshot-every 256] [-max-inflight 64] [-rate 0] [-burst 0]
+//	          [-node-name node]
 //
 // With -data-dir, sessions are durable: every committed turn is
 // WAL-logged before the response is acknowledged, and a restarted
@@ -56,6 +57,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "per-shard concurrent ask limit (negative: unlimited)")
 	rate := flag.Float64("rate", 0, "per-shard admitted asks per second (0: unlimited)")
 	burst := flag.Float64("burst", 0, "token-bucket burst size (0: max(rate,1))")
+	nodeName := flag.String("node-name", "node", "node name reported by /healthz and stamped on stale replica reads")
 	flag.Parse()
 
 	var cfg core.Config
@@ -119,7 +121,7 @@ func main() {
 		Clock:       clock,
 	})
 
-	srv := server.NewWithOptions(core.New(cfg), cat, now, server.Options{Store: store, Admission: adm})
+	srv := server.NewWithOptions(core.New(cfg), cat, now, server.Options{Store: store, Admission: adm, NodeName: *nodeName})
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),

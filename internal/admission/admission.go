@@ -42,9 +42,12 @@ type Config struct {
 	Rate float64
 	// Burst is the token-bucket capacity (default max(Rate, 1)).
 	Burst float64
-	// RetryAfterHint is the Retry-After suggested when the inflight
-	// bound (which has no natural refill time) rejects a request
-	// (default 1s).
+	// RetryAfterHint is the Retry-After floor used when the inflight
+	// bound rejects a request (default 1s): concurrency has no natural
+	// refill time, so the hint stands in — unless the token bucket is
+	// also empty, in which case its computed refill time wins when
+	// longer. Token-bucket rejections never use the hint; their
+	// Retry-After is always the exact refill time on the clock.
 	RetryAfterHint time.Duration
 	// Clock drives bucket refill; nil defaults to a VirtualClock
 	// (deterministic). Production passes resilience.NewWallClock().
@@ -83,8 +86,15 @@ type Overload struct {
 	// Reason is "inflight" (concurrency bound) or "rate" (token
 	// bucket empty).
 	Reason string
-	// RetryAfter is the suggested wait before retrying.
+	// RetryAfter is the suggested wait before retrying. For "rate" it
+	// is always the exact bucket refill time on the controller's
+	// clock; for "inflight" it is the configured hint, raised to the
+	// refill time when the bucket is simultaneously empty (retrying
+	// sooner would trade a concurrency rejection for a rate one).
 	RetryAfter time.Duration
+	// Computed reports whether RetryAfter came from bucket refill
+	// arithmetic rather than the static RetryAfterHint.
+	Computed bool
 }
 
 // Error renders the shed decision.
@@ -135,15 +145,19 @@ func (c *Controller) Admit(shard int) (func(), error) {
 		g.last = now
 	}
 	if c.cfg.MaxInflight > 0 && g.inflight >= c.cfg.MaxInflight {
-		return nil, &Overload{Shard: shard, Reason: "inflight", RetryAfter: c.cfg.RetryAfterHint}
+		ov := &Overload{Shard: shard, Reason: "inflight", RetryAfter: c.cfg.RetryAfterHint}
+		if c.cfg.Rate > 0 && g.tokens < 1 {
+			if wait := refillWait(g.tokens, c.cfg.Rate); wait > ov.RetryAfter {
+				ov.RetryAfter = wait
+				ov.Computed = true
+			}
+		}
+		return nil, ov
 	}
 	if c.cfg.Rate > 0 {
 		if g.tokens < 1 {
-			wait := time.Duration((1 - g.tokens) / c.cfg.Rate * float64(time.Second))
-			if wait <= 0 {
-				wait = time.Millisecond
-			}
-			return nil, &Overload{Shard: shard, Reason: "rate", RetryAfter: wait}
+			return nil, &Overload{Shard: shard, Reason: "rate",
+				RetryAfter: refillWait(g.tokens, c.cfg.Rate), Computed: true}
 		}
 		g.tokens--
 	}
@@ -156,6 +170,18 @@ func (c *Controller) Admit(shard int) (func(), error) {
 			g.mu.Unlock()
 		})
 	}, nil
+}
+
+// refillWait computes how long the bucket needs on the clock to
+// refill back to one token — the exact earliest instant a retry could
+// be admitted by the rate brake (minimum 1ms so the hint is never
+// zero under float truncation).
+func refillWait(tokens, rate float64) time.Duration {
+	wait := time.Duration((1 - tokens) / rate * float64(time.Second))
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	return wait
 }
 
 // Inflight reports a shard's currently admitted request count

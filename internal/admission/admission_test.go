@@ -172,3 +172,64 @@ func TestConcurrentAdmitNeverExceedsBound(t *testing.T) {
 		t.Fatalf("inflight leaked: %d", got)
 	}
 }
+
+// TestRetryAfterComputedFromRefill pins the shed hint arithmetic: a
+// token-bucket rejection's Retry-After is always the exact refill
+// time on the injectable clock — never the static RetryAfterHint —
+// including for slow rates where the flat 1s default would tell
+// clients to hammer a bucket that cannot possibly have refilled.
+func TestRetryAfterComputedFromRefill(t *testing.T) {
+	clock := resilience.NewVirtualClock()
+	c := New(Config{Shards: 1, Rate: 0.25, Burst: 1, Clock: clock})
+	rel, err := c.Admit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	var ov *Overload
+	if _, err := c.Admit(0); !errors.As(err, &ov) {
+		t.Fatalf("admit on empty bucket = %v", err)
+	}
+	// Rate 0.25/s: one token takes 4s, not the 1s hint.
+	if ov.Reason != "rate" || ov.RetryAfter != 4*time.Second || !ov.Computed {
+		t.Fatalf("overload = %+v, want computed rate / 4s", ov)
+	}
+	// A partial refill shortens the hint by exactly the elapsed time.
+	clock.Advance(1500 * time.Millisecond)
+	if _, err := c.Admit(0); !errors.As(err, &ov) {
+		t.Fatal("bucket refilled too early")
+	}
+	if ov.RetryAfter != 2500*time.Millisecond || !ov.Computed {
+		t.Fatalf("partial-refill overload = %+v, want computed 2.5s", ov)
+	}
+}
+
+// TestInflightRetryAfterRaisedByEmptyBucket: an inflight rejection
+// keeps the static hint when only concurrency is exhausted, but when
+// the token bucket is simultaneously empty the computed refill time
+// wins if longer — retrying at the hint would just convert the
+// rejection into a rate shed.
+func TestInflightRetryAfterRaisedByEmptyBucket(t *testing.T) {
+	clock := resilience.NewVirtualClock()
+	c := New(Config{Shards: 1, MaxInflight: 1, Rate: 0.5, Burst: 1, Clock: clock})
+	rel, err := c.Admit(0) // occupies the slot AND drains the bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ov *Overload
+	if _, err := c.Admit(0); !errors.As(err, &ov) {
+		t.Fatalf("admit on full shard = %v", err)
+	}
+	if ov.Reason != "inflight" || ov.RetryAfter != 2*time.Second || !ov.Computed {
+		t.Fatalf("overload = %+v, want inflight raised to computed 2s", ov)
+	}
+	// With the bucket full again, the static hint stands.
+	clock.Advance(2 * time.Second)
+	if _, err := c.Admit(0); !errors.As(err, &ov) {
+		t.Fatal("still rejected?")
+	}
+	if ov.Reason != "inflight" || ov.RetryAfter != time.Second || ov.Computed {
+		t.Fatalf("overload = %+v, want static 1s hint", ov)
+	}
+	rel()
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/reliable-cda/cda/internal/core"
+	"github.com/reliable-cda/cda/internal/dialogue"
+	"github.com/reliable-cda/cda/internal/server"
+	"github.com/reliable-cda/cda/internal/sessionstore"
+)
+
+// ErrNodeDown marks a node-level failure: the process is gone,
+// partitioned away, or refusing connections — as opposed to an
+// application error (unknown session, bad question) the node itself
+// produced while healthy. The router's failover breaker counts only
+// wrapped ErrNodeDown failures; application errors pass through
+// without tripping promotion.
+var ErrNodeDown = errors.New("cluster: node unreachable")
+
+// ErrUnknownSession is the node-level 404: the id was never created
+// on (or replicated to) that node.
+var ErrUnknownSession = errors.New("cluster: unknown session")
+
+// NodeClient is one cdaserver process as the router sees it. The two
+// implementations are LocalNode (in-process, for tests and the chaos
+// harness — with kill and partition switches) and HTTPNode (a real
+// node over its base URL, for cmd/cdarouter).
+type NodeClient interface {
+	// Name identifies the node in health reports and stale stamps.
+	Name() string
+	// Shards is the node's store shard count (placement protocol).
+	Shards() int
+	// CreateSession creates a session under the router-chosen id.
+	CreateSession(ctx context.Context, id string) error
+	// Ask runs one turn against a session and commits it durably.
+	Ask(ctx context.Context, id, question string) (server.AskResponse, error)
+	// Transcript reads one page of a session's transcript. A node whose
+	// store lags its primary stamps the page stale.
+	Transcript(ctx context.Context, id string, offset, limit int) (server.TranscriptPage, error)
+	// Health returns the node's replication health report.
+	Health(ctx context.Context) (server.HealthReport, error)
+	// Pull fetches one shard's committed WAL frames after a cursor.
+	Pull(ctx context.Context, shard int, after int64, max int) (sessionstore.ShipBatch, error)
+	// Apply installs a pulled batch, returning the shard's new cursor.
+	Apply(ctx context.Context, batch sessionstore.ShipBatch) (int64, error)
+}
+
+// LocalNode is an in-process node: a store plus the system that
+// answers its questions, with the failure switches the chaos harness
+// flips. All methods honour context cancellation and report
+// ErrNodeDown once killed or while partitioned.
+type LocalNode struct {
+	name  string
+	store *sessionstore.Store
+	sys   *core.System
+
+	mu          sync.Mutex
+	killed      bool
+	partitioned bool
+}
+
+// NewLocalNode wraps a store and system as a node.
+func NewLocalNode(name string, store *sessionstore.Store, sys *core.System) *LocalNode {
+	return &LocalNode{name: name, store: store, sys: sys}
+}
+
+// Kill marks the node dead — permanently, like a crashed process. A
+// torn WAL write inside Ask kills the node implicitly the same way.
+func (n *LocalNode) Kill() {
+	n.mu.Lock()
+	n.killed = true
+	n.mu.Unlock()
+}
+
+// SetPartitioned isolates the node from the router (reversible,
+// unlike Kill): every call fails with ErrNodeDown until healed.
+func (n *LocalNode) SetPartitioned(p bool) {
+	n.mu.Lock()
+	n.partitioned = p
+	n.mu.Unlock()
+}
+
+// Store exposes the node's store (chaos assertions).
+func (n *LocalNode) Store() *sessionstore.Store { return n.store }
+
+// reachable folds the kill/partition switches and the context into
+// one gate every method passes first.
+func (n *LocalNode) reachable(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.killed {
+		return fmt.Errorf("%w: %s killed", ErrNodeDown, n.name)
+	}
+	if n.partitioned {
+		return fmt.Errorf("%w: %s partitioned", ErrNodeDown, n.name)
+	}
+	return nil
+}
+
+// noteCrash converts a store-level simulated crash into node death:
+// the WAL append was torn mid-write, which in a real deployment is
+// the process dying with it.
+func (n *LocalNode) noteCrash(err error) error {
+	if errors.Is(err, sessionstore.ErrCrashed) {
+		n.Kill()
+		return fmt.Errorf("%w: %s crashed mid-append", ErrNodeDown, n.name)
+	}
+	return err
+}
+
+// Name implements NodeClient.
+func (n *LocalNode) Name() string { return n.name }
+
+// Shards implements NodeClient.
+func (n *LocalNode) Shards() int { return n.store.Shards() }
+
+// CreateSession implements NodeClient.
+func (n *LocalNode) CreateSession(ctx context.Context, id string) error {
+	if err := n.reachable(ctx); err != nil {
+		return err
+	}
+	if _, err := n.store.NewSessionWithID(id); err != nil {
+		return n.noteCrash(err)
+	}
+	return nil
+}
+
+// Ask implements NodeClient: one turn, committed durably before the
+// answer is returned (the single-node server's contract).
+func (n *LocalNode) Ask(ctx context.Context, id, question string) (server.AskResponse, error) {
+	// resp stays the zero value on every error path; the annotated
+	// response only comes from AskResponseFrom on success.
+	var resp server.AskResponse
+	if err := n.reachable(ctx); err != nil {
+		return resp, err
+	}
+	entry, status := n.store.Get(id)
+	if status != sessionstore.Found {
+		return resp, fmt.Errorf("%w: %s on node %s (%v)", ErrUnknownSession, id, n.name, status)
+	}
+	err := entry.Do(func(sess *dialogue.Session) error {
+		ans, rerr := n.sys.Respond(ctx, sess, question)
+		if rerr != nil {
+			return rerr
+		}
+		resp = server.AskResponseFrom(ans)
+		return n.store.CommitTurn(entry)
+	})
+	if err != nil {
+		// Not resp: AskResponseFrom may have run before CommitTurn
+		// failed, and an uncommitted turn must not leak a response.
+		var zero server.AskResponse
+		return zero, n.noteCrash(err)
+	}
+	return resp, nil
+}
+
+// Transcript implements NodeClient, rendering the same page the HTTP
+// handler would — staleness stamp included, so a replica read through
+// the router degrades exactly like one through a node's own endpoint.
+func (n *LocalNode) Transcript(ctx context.Context, id string, offset, limit int) (server.TranscriptPage, error) {
+	if err := n.reachable(ctx); err != nil {
+		return server.TranscriptPage{}, err
+	}
+	if limit <= 0 {
+		limit = server.DefaultPageLimit
+	}
+	if limit > server.MaxPageLimit {
+		limit = server.MaxPageLimit
+	}
+	entry, status := n.store.Get(id)
+	if status != sessionstore.Found {
+		return server.TranscriptPage{}, fmt.Errorf("%w: %s on node %s (%v)", ErrUnknownSession, id, n.name, status)
+	}
+	page := server.TranscriptPage{Offset: offset, Limit: limit, Turns: []server.TranscriptTurn{}}
+	if lag := n.store.ReplicationLag(n.store.ShardIndex(id)); lag > 0 {
+		page.Source = n.name
+		page.Stale = true
+		page.LagRecords = lag
+	}
+	err := entry.Do(func(sess *dialogue.Session) error {
+		page.Total = len(sess.Turns)
+		end := offset + limit
+		if end > page.Total {
+			end = page.Total
+		}
+		for i := offset; i < end && i >= 0; i++ {
+			t := sess.Turns[i]
+			tt := server.TranscriptTurn{Role: t.Role.String(), Text: t.Text, Confidence: t.Confidence}
+			if t.Role == dialogue.RoleUser {
+				tt.Intent = t.Intent.String()
+			}
+			page.Turns = append(page.Turns, tt)
+		}
+		return nil
+	})
+	if err != nil {
+		return server.TranscriptPage{}, err
+	}
+	return page, nil
+}
+
+// Health implements NodeClient.
+func (n *LocalNode) Health(ctx context.Context) (server.HealthReport, error) {
+	if err := n.reachable(ctx); err != nil {
+		return server.HealthReport{}, err
+	}
+	rep := server.HealthReport{Status: "ok", Node: n.name, Sessions: n.store.Len()}
+	for i := 0; i < n.store.Shards(); i++ {
+		h := server.ShardHealth{Shard: i,
+			WALSeq: n.store.ReplicationCursor(i),
+			Lag:    n.store.ReplicationLag(i)}
+		if h.Lag > rep.MaxLag {
+			rep.MaxLag = h.Lag
+		}
+		rep.Shards = append(rep.Shards, h)
+	}
+	return rep, nil
+}
+
+// Pull implements NodeClient.
+func (n *LocalNode) Pull(ctx context.Context, shard int, after int64, max int) (sessionstore.ShipBatch, error) {
+	if err := n.reachable(ctx); err != nil {
+		return sessionstore.ShipBatch{}, err
+	}
+	return n.store.PullFrames(shard, after, max)
+}
+
+// Apply implements NodeClient.
+func (n *LocalNode) Apply(ctx context.Context, batch sessionstore.ShipBatch) (int64, error) {
+	if err := n.reachable(ctx); err != nil {
+		return 0, err
+	}
+	if err := n.store.ApplyBatch(batch); err != nil {
+		return n.store.ReplicationCursor(batch.Shard), n.noteCrash(err)
+	}
+	return n.store.ReplicationCursor(batch.Shard), nil
+}

@@ -14,13 +14,18 @@
 // Endpoints:
 //
 //	GET  /health                             liveness probe
+//	GET  /healthz                            per-shard WAL seq + replication lag (JSON)
 //	GET  /datasets                           catalog listing with freshness
 //	POST /sessions                           create a conversation; returns {"id": ...}
 //	POST /sessions/{id}/ask                  {"question": "..."} → annotated answer
 //	GET  /sessions/{id}?offset=&limit=       paginated session transcript
+//	GET  /replication/{shard}?after=&max=    pull committed WAL frames (cluster shipping)
+//	POST /replication/apply                  apply a pulled batch on a replica
 //
 // Session lookups distinguish 404 (never existed) from 410 (evicted
-// after sitting idle past the TTL).
+// after sitting idle past the TTL). A node serving replicated state
+// stamps transcript pages with a staleness marker whenever its store
+// is known to lag the primary it last applied a batch from.
 package server
 
 import (
@@ -28,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -58,6 +64,7 @@ type Server struct {
 	now   int
 	store *sessionstore.Store
 	adm   *admission.Controller
+	node  string
 }
 
 // Options wires durability and overload protection into a server.
@@ -67,6 +74,9 @@ type Options struct {
 	Store *sessionstore.Store
 	// Admission gates requests; nil admits everything.
 	Admission *admission.Controller
+	// NodeName identifies this node in /healthz and replica-served
+	// transcript pages; empty defaults to "node".
+	NodeName string
 }
 
 // New creates a memory-only server over an assembled system. cat may
@@ -82,7 +92,11 @@ func NewWithOptions(sys *core.System, cat *catalog.Catalog, now int, opts Option
 	if st == nil {
 		st = sessionstore.NewMemory(sessionstore.Config{})
 	}
-	return &Server{sys: sys, cat: cat, now: now, store: st, adm: opts.Admission}
+	node := opts.NodeName
+	if node == "" {
+		node = "node"
+	}
+	return &Server{sys: sys, cat: cat, now: now, store: st, adm: opts.Admission, node: node}
 }
 
 // Store exposes the session store (shutdown hooks and tests).
@@ -92,10 +106,13 @@ func (s *Server) Store() *sessionstore.Store { return s.store }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /health", s.handleHealth)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
 	mux.HandleFunc("POST /sessions", s.handleCreateSession)
 	mux.HandleFunc("POST /sessions/{id}/ask", s.handleAsk)
 	mux.HandleFunc("GET /sessions/{id}", s.handleTranscript)
+	mux.HandleFunc("GET /replication/{shard}", s.handlePullFrames)
+	mux.HandleFunc("POST /replication/apply", s.handleApplyBatch)
 	return mux
 }
 
@@ -117,6 +134,112 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ShardHealth is one shard's replication state in /healthz: the ship
+// sequence its WAL has reached and how far it is known to lag the
+// primary it last applied a batch from (0 on a primary).
+type ShardHealth struct {
+	Shard  int   `json:"shard"`
+	WALSeq int64 `json:"wal_seq"`
+	Lag    int64 `json:"lag"`
+}
+
+// HealthReport is the /healthz payload: enough for a router or
+// operator to judge replication health, and nothing else — no paths,
+// no session ids, no internals.
+type HealthReport struct {
+	Status   string        `json:"status"`
+	Node     string        `json:"node"`
+	Sessions int           `json:"sessions"`
+	Shards   []ShardHealth `json:"shards"`
+	// MaxLag is the largest per-shard lag, hoisted so probes can
+	// threshold on one number.
+	MaxLag int64 `json:"max_lag"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	rep := HealthReport{Status: "ok", Node: s.node, Sessions: s.store.Len()}
+	for i := 0; i < s.store.Shards(); i++ {
+		h := ShardHealth{Shard: i,
+			WALSeq: s.store.ReplicationCursor(i),
+			Lag:    s.store.ReplicationLag(i)}
+		if h.Lag > rep.MaxLag {
+			rep.MaxLag = h.Lag
+		}
+		rep.Shards = append(rep.Shards, h)
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handlePullFrames serves one shard's committed WAL frames after the
+// requested cursor (GET /replication/{shard}?after=&max=). The body is
+// a sessionstore.ShipBatch; a replica applies it verbatim with
+// /replication/apply on its own server.
+func (s *Server) handlePullFrames(w http.ResponseWriter, r *http.Request) {
+	shard, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil || shard < 0 || shard >= s.store.Shards() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("shard must be an integer in [0,%d)", s.store.Shards()))
+		return
+	}
+	after, max := int64(0), 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		after, err = strconv.ParseInt(v, 10, 64)
+		if err != nil || after < 0 {
+			writeError(w, http.StatusBadRequest, "after must be a non-negative integer")
+			return
+		}
+	}
+	if v := r.URL.Query().Get("max"); v != "" {
+		max, err = strconv.Atoi(v)
+		if err != nil || max < 0 {
+			writeError(w, http.StatusBadRequest, "max must be a non-negative integer")
+			return
+		}
+	}
+	batch, err := s.store.PullFrames(shard, after, max)
+	if err != nil {
+		// A cursor ahead of this node's WAL means the puller has state we
+		// never shipped — 409, not 500: the request is wrong, not the node.
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, batch)
+}
+
+// handleApplyBatch applies a shipped batch on this node's store (POST
+// /replication/apply). Responds with the shard's new cursor so the
+// shipper can advance without a second round trip.
+func (s *Server) handleApplyBatch(w http.ResponseWriter, r *http.Request) {
+	var batch sessionstore.ShipBatch
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if batch.Shard < 0 || batch.Shard >= s.store.Shards() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("shard must be in [0,%d)", s.store.Shards()))
+		return
+	}
+	if err := s.store.ApplyBatch(batch); err != nil {
+		if errors.Is(err, sessionstore.ErrReplicaGap) {
+			// The shipper must re-pull from our actual cursor; 409 carries
+			// it in the body.
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":  err.Error(),
+				"cursor": s.store.ReplicationCursor(batch.Shard),
+			})
+			return
+		}
+		reqID := fmt.Sprintf("req-%06d", reqCounter.Add(1))
+		log.Printf("server: apply replication batch on shard %d failed [%s]: %v", batch.Shard, reqID, err)
+		writeError(w, http.StatusInternalServerError, "internal error (reference "+reqID+")")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"cursor": s.store.ReplicationCursor(batch.Shard),
+	})
 }
 
 // DatasetInfo is the catalog listing payload.
@@ -169,8 +292,35 @@ func (s *Server) admit(w http.ResponseWriter, shard int) (release func(), admitt
 	return nil, false
 }
 
-func (s *Server) handleCreateSession(w http.ResponseWriter, _ *http.Request) {
-	entry, err := s.store.NewSession()
+// createSessionRequest is the optional POST /sessions body: a cluster
+// router picks the id up front so consistent-hash placement can route
+// every later request from the id alone. An empty body (the original
+// protocol) lets the store allocate.
+type createSessionRequest struct {
+	ID string `json:"id"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if r.Body != nil {
+		// Decode errors on an empty body are expected (the pre-cluster
+		// protocol sends none); only a present-but-broken body is a 400.
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+	}
+	var entry *sessionstore.Entry
+	var err error
+	if req.ID != "" {
+		entry, err = s.store.NewSessionWithID(req.ID)
+	} else {
+		entry, err = s.store.NewSession()
+	}
+	if errors.Is(err, sessionstore.ErrSessionExists) {
+		writeError(w, http.StatusConflict, "session id already exists")
+		return
+	}
 	if err != nil {
 		reqID := fmt.Sprintf("req-%06d", reqCounter.Add(1))
 		log.Printf("server: creating session failed [%s]: %v", reqID, err)
@@ -214,6 +364,26 @@ type AskResponse struct {
 	// the verified pipeline was unavailable (empty otherwise), so UIs
 	// can render the outage caveat alongside the lowered confidence.
 	Degraded string `json:"degraded,omitempty"`
+}
+
+// AskResponseFrom renders a core answer as the wire payload — shared
+// by this server's ask handler and the cluster router's local-node
+// path, so a routed answer is byte-identical to a direct one.
+func AskResponseFrom(ans *core.Answer) AskResponse {
+	resp := AskResponse{
+		Text:          ans.Text,
+		Code:          ans.Code,
+		Confidence:    ans.Confidence,
+		Abstained:     ans.Abstained,
+		Clarification: ans.Clarification,
+		Suggestions:   ans.Suggestions,
+		Sources:       ans.Explanation.Sources,
+		Degraded:      ans.Degraded,
+	}
+	if ans.Provenance != nil && ans.AnswerNode != "" {
+		resp.Provenance = ans.Provenance.Summary(ans.AnswerNode)
+	}
+	return resp
 }
 
 // reqCounter issues request IDs for error correlation in logs. An
@@ -273,20 +443,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "internal error (reference "+reqID+")")
 		return
 	}
-	resp := AskResponse{
-		Text:          ans.Text,
-		Code:          ans.Code,
-		Confidence:    ans.Confidence,
-		Abstained:     ans.Abstained,
-		Clarification: ans.Clarification,
-		Suggestions:   ans.Suggestions,
-		Sources:       ans.Explanation.Sources,
-		Degraded:      ans.Degraded,
-	}
-	if ans.Provenance != nil && ans.AnswerNode != "" {
-		resp.Provenance = ans.Provenance.Summary(ans.AnswerNode)
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, AskResponseFrom(ans))
 }
 
 // TranscriptTurn is one turn of the session transcript payload.
@@ -298,12 +455,24 @@ type TranscriptTurn struct {
 }
 
 // TranscriptPage is the paginated transcript envelope: Turns holds
-// the [Offset, Offset+Limit) window of a Total-turn transcript.
+// the [Offset, Offset+Limit) window of a Total-turn transcript. Pages
+// served from a store known to lag its primary carry a staleness
+// stamp so clients (and the cluster router) can tell a degraded read
+// from a current one; a primary leaves all three fields zero.
 type TranscriptPage struct {
 	Turns  []TranscriptTurn `json:"turns"`
 	Total  int              `json:"total"`
 	Offset int              `json:"offset"`
 	Limit  int              `json:"limit"`
+	// Source names the node that served the page (replica reads only).
+	Source string `json:"source,omitempty"`
+	// Stale is true when the serving store is known to be behind the
+	// primary it last replicated from.
+	Stale bool `json:"stale,omitempty"`
+	// LagRecords is how many WAL records behind the serving shard is —
+	// a lower bound during a partition (the primary may have committed
+	// more since it was last reachable).
+	LagRecords int64 `json:"lag_records,omitempty"`
 }
 
 // pageParams parses ?offset=&limit= with stable defaults (0,
@@ -334,11 +503,20 @@ func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	entry, ok := s.lookup(w, r.PathValue("id"))
+	id := r.PathValue("id")
+	entry, ok := s.lookup(w, id)
 	if !ok {
 		return
 	}
 	page := TranscriptPage{Offset: offset, Limit: limit, Turns: []TranscriptTurn{}}
+	if lag := s.store.ReplicationLag(s.store.ShardIndex(id)); lag > 0 {
+		// This node's shard is behind the primary it replicates from:
+		// serve the read (graceful degradation) but stamp it.
+		page.Source = s.node
+		page.Stale = true
+		page.LagRecords = lag
+		w.Header().Set("X-CDA-Stale", "true")
+	}
 	doErr := entry.Do(func(sess *dialogue.Session) error {
 		page.Total = len(sess.Turns)
 		end := offset + limit

@@ -1,0 +1,214 @@
+package sessionstore
+
+// Primary→replica WAL shipping. Every shard numbers the records it
+// appends with a ship sequence — 1-based, monotonic across snapshot
+// compactions and restarts (the snapshot persists the sequence at its
+// horizon) — and keeps the CRC-framed bytes of the records since the
+// last compaction in memory, exactly mirroring the on-disk WAL. A
+// replication driver (internal/cluster, or cdarouter over HTTP) pulls
+// frames after the replica's cursor with PullFrames and applies them
+// on the replica store with ApplyBatch; when the replica's cursor has
+// fallen behind the primary's compaction horizon the pull returns a
+// full shard snapshot instead, and frame shipping resumes from there.
+//
+// The shipped frames are the WAL's own wire format, so the replica
+// validates them with the same CRC scan recovery uses, persists them
+// byte-identically into its own WAL, and replays them through the
+// same Seq-idempotent path as crash recovery: applying a frame twice
+// is a no-op, and a replica killed mid-apply truncates its torn tail
+// on reopen exactly like a primary. Byte-identical durable state on
+// both ends is therefore a consequence of the framing, not a separate
+// protocol invariant to maintain.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Frame is one committed WAL record as shipped to a replica: the raw
+// CRC-framed bytes exactly as they sit in the primary's WAL, plus its
+// per-shard ship sequence.
+type Frame struct {
+	Seq  int64  `json:"seq"`
+	Data []byte `json:"data"`
+}
+
+// ShipBatch is one replication transfer for one shard. Either
+// Snapshot is set — a full shard snapshot at SnapshotSeq, shipped
+// when the requested cursor predates the primary's compaction horizon
+// — or Frames carries the records after the requested cursor, in
+// order. PrimaryCursor is the primary's cursor at pull time so the
+// replica can report its lag without a second round trip.
+type ShipBatch struct {
+	Shard         int     `json:"shard"`
+	Snapshot      []byte  `json:"snapshot,omitempty"`
+	SnapshotSeq   int64   `json:"snapshot_seq,omitempty"`
+	Frames        []Frame `json:"frames,omitempty"`
+	PrimaryCursor int64   `json:"primary_cursor"`
+}
+
+// Empty reports whether the batch carries no state to apply.
+func (b ShipBatch) Empty() bool { return b.Snapshot == nil && len(b.Frames) == 0 }
+
+// ErrReplicaGap is returned by ApplyBatch when the batch's first
+// frame does not extend the replica's cursor contiguously: records
+// between were lost in transit, and the driver must re-pull from the
+// replica's actual cursor (which may now yield a snapshot).
+var ErrReplicaGap = errors.New("sessionstore: replication frame gap; re-pull from the replica cursor")
+
+// ReplicationCursor reports the shard's ship sequence: the number of
+// records ever appended to its WAL, compactions included. A replica's
+// cursor is the sequence it has durably applied through.
+func (s *Store) ReplicationCursor(shard int) int64 {
+	sh := s.shards[shard&(len(s.shards)-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.cursor()
+}
+
+// ReplicationLag reports how many records the shard is known to be
+// behind the primary it last applied a batch from (zero on a primary,
+// or when fully caught up). The remote cursor is the PrimaryCursor of
+// the most recently applied batch, so lag is a lower bound during a
+// partition: the primary may have committed more since.
+func (s *Store) ReplicationLag(shard int) int64 {
+	sh := s.shards[shard&(len(s.shards)-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if lag := sh.remoteSeq - sh.cursor(); lag > 0 {
+		return lag
+	}
+	return 0
+}
+
+// cursor computes the shard's ship sequence. Caller holds sh.mu.
+func (sh *shard) cursor() int64 { return sh.shipBase + int64(len(sh.tail)) }
+
+// PullFrames returns the shard's records after cursor `after`, at
+// most max frames (max <= 0 means all). When `after` predates the
+// compaction horizon the batch instead carries a full shard snapshot
+// at the current cursor. An `after` beyond the cursor is an error:
+// the "replica" has state this primary never shipped (split brain or
+// crossed stores), and silently rewinding it would mask that.
+func (s *Store) PullFrames(shard int, after int64, max int) (ShipBatch, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return ShipBatch{}, fmt.Errorf("sessionstore: pull from unknown shard %d (have %d)", shard, len(s.shards))
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur := sh.cursor()
+	b := ShipBatch{Shard: shard, PrimaryCursor: cur}
+	if after > cur {
+		return ShipBatch{}, fmt.Errorf("sessionstore: replica cursor %d ahead of shard %d cursor %d", after, shard, cur)
+	}
+	if after < sh.shipBase {
+		data, err := json.Marshal(sh.buildSnapshot())
+		if err != nil {
+			return ShipBatch{}, fmt.Errorf("sessionstore: encode replication snapshot: %w", err)
+		}
+		b.Snapshot = data
+		b.SnapshotSeq = cur
+		return b, nil
+	}
+	start := int(after - sh.shipBase)
+	end := len(sh.tail)
+	if max > 0 && start+max < end {
+		end = start + max
+	}
+	for i := start; i < end; i++ {
+		b.Frames = append(b.Frames, Frame{Seq: sh.shipBase + int64(i) + 1, Data: sh.tail[i]})
+	}
+	return b, nil
+}
+
+// ApplyBatch applies a pulled batch on the replica: a snapshot is
+// installed wholesale (replacing the shard — the primary's state at
+// SnapshotSeq is a superset of any prefix the replica held) and
+// persisted; frames are CRC-validated, appended byte-identically to
+// the replica's own WAL, and replayed through the same idempotent
+// path as crash recovery. Frames at or below the replica's cursor are
+// skipped, so re-applying a batch is harmless; a gap above the cursor
+// returns ErrReplicaGap.
+func (s *Store) ApplyBatch(b ShipBatch) error {
+	if b.Shard < 0 || b.Shard >= len(s.shards) {
+		return fmt.Errorf("sessionstore: apply to unknown shard %d (have %d)", b.Shard, len(s.shards))
+	}
+	sh := s.shards[b.Shard]
+	sh.mu.Lock()
+	if b.Snapshot != nil {
+		if err := sh.installSnapshot(b, s.clock.Now()); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+	}
+	for _, fr := range b.Frames {
+		cur := sh.cursor()
+		if fr.Seq <= cur {
+			continue
+		}
+		if fr.Seq != cur+1 {
+			sh.mu.Unlock()
+			return fmt.Errorf("%w: shard %d at %d got frame %d", ErrReplicaGap, b.Shard, cur, fr.Seq)
+		}
+		recs, _, valid := scanWAL(fr.Data)
+		if len(recs) != 1 || valid != int64(len(fr.Data)) {
+			sh.mu.Unlock()
+			return fmt.Errorf("sessionstore: corrupt replication frame %d for shard %d", fr.Seq, b.Shard)
+		}
+		if sh.wal != nil {
+			if err := sh.wal.appendFrame(fr.Data); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		sh.replay(recs[0], s.clock.Now())
+		sh.tail = append(sh.tail, fr.Data)
+		sh.pending++
+	}
+	if b.PrimaryCursor > sh.remoteSeq {
+		sh.remoteSeq = b.PrimaryCursor
+	}
+	sh.compactIfDue()
+	maxNum := sh.maxNum
+	sh.mu.Unlock()
+	// Lift the shard's id horizon into the store-wide allocator (lock
+	// order: s.mu is never taken while holding sh.mu), so a promoted
+	// replica never re-issues an id the primary already handed out.
+	s.mu.Lock()
+	if maxNum > s.nextNum {
+		s.nextNum = maxNum
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// installSnapshot replaces the shard's state with a shipped snapshot
+// and persists it (snapshot file published, WAL truncated) so the
+// replica's disk recovers to the same cursor. Caller holds sh.mu.
+func (sh *shard) installSnapshot(b ShipBatch, now time.Duration) error {
+	var snap snapshot
+	if err := json.Unmarshal(b.Snapshot, &snap); err != nil {
+		return fmt.Errorf("sessionstore: decode replication snapshot for shard %d: %w", b.Shard, err)
+	}
+	snap.ShipSeq = b.SnapshotSeq
+	if sh.wal != nil {
+		if err := writeSnapshot(sh.snapPath, snap, sh.nosync); err != nil {
+			return err
+		}
+		if err := sh.wal.reset(); err != nil {
+			return err
+		}
+	}
+	sh.sessions = map[string]*Entry{}
+	sh.tombstones = map[string]bool{}
+	sh.maxNum = 0
+	sh.applySnapshot(snap, now)
+	sh.shipBase = b.SnapshotSeq
+	sh.tail = nil
+	sh.pending = 0
+	sh.compactErr = nil
+	return nil
+}

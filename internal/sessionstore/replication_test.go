@@ -1,0 +1,269 @@
+package sessionstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// shipAll drains every shard of src into dst until both cursors
+// match, using batches of at most max frames (0: unbounded).
+func shipAll(t *testing.T, src, dst *Store, max int) {
+	t.Helper()
+	for shard := 0; shard < src.Shards(); shard++ {
+		for {
+			b, err := src.PullFrames(shard, dst.ReplicationCursor(shard), max)
+			if err != nil {
+				t.Fatalf("pull shard %d: %v", shard, err)
+			}
+			if b.Empty() {
+				break
+			}
+			if err := dst.ApplyBatch(b); err != nil {
+				t.Fatalf("apply shard %d: %v", shard, err)
+			}
+		}
+	}
+}
+
+// assertMirrors checks every live session of src renders the
+// byte-identical transcript on dst.
+func assertMirrors(t *testing.T, src, dst *Store, ids []string) {
+	t.Helper()
+	for _, id := range ids {
+		pe, status := src.Get(id)
+		if status != Found {
+			t.Fatalf("primary lost session %s (%v)", id, status)
+		}
+		re, status := dst.Get(id)
+		if status != Found {
+			t.Fatalf("replica missing session %s (%v)", id, status)
+		}
+		if p, r := transcriptOf(t, pe), transcriptOf(t, re); p != r {
+			t.Errorf("session %s diverged:\nprimary: %sreplica: %s", id, p, r)
+		}
+	}
+}
+
+func TestShipFramesByteIdenticalReplica(t *testing.T) {
+	primary, err := Open(Config{Dir: t.TempDir(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := Open(Config{Dir: t.TempDir(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 6; i++ {
+		e, err := primary.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, e.ID)
+		for j := 0; j <= i%3; j++ {
+			commitPair(t, primary, e,
+				fmt.Sprintf("question %d-%d", i, j),
+				fmt.Sprintf("answer %d", 10*i+j),
+				0.25+float64(j)/13)
+		}
+	}
+	shipAll(t, primary, replica, 3)
+	assertMirrors(t, primary, replica, ids)
+	for shard := 0; shard < primary.Shards(); shard++ {
+		if p, r := primary.ReplicationCursor(shard), replica.ReplicationCursor(shard); p != r {
+			t.Errorf("shard %d cursor primary=%d replica=%d", shard, p, r)
+		}
+		if lag := replica.ReplicationLag(shard); lag != 0 {
+			t.Errorf("caught-up replica lag = %d on shard %d", lag, shard)
+		}
+	}
+	// Re-applying an old batch is a no-op (Seq idempotence).
+	b, err := primary.PullFrames(primary.ShardIndex(ids[0]), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Empty() {
+		if err := replica.ApplyBatch(b); err != nil {
+			t.Fatalf("re-apply: %v", err)
+		}
+	}
+	assertMirrors(t, primary, replica, ids)
+	if err := errors.Join(primary.Close(), replica.Close()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShipSnapshotFallback compacts the primary past the replica's
+// cursor so the pull must fall back to a snapshot transfer, then
+// resumes frame shipping on top of it.
+func TestShipSnapshotFallback(t *testing.T) {
+	primary, err := Open(Config{Dir: t.TempDir(), Shards: 1, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := Open(Config{Dir: t.TempDir(), Shards: 1, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := primary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 9; j++ { // > 2 compaction cadences on shard 0
+		commitPair(t, primary, e, fmt.Sprintf("q%d", j), fmt.Sprintf("a%d", j), 0.5)
+	}
+	b, err := primary.PullFrames(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Snapshot == nil {
+		t.Fatalf("expected snapshot transfer (cursor 0 behind compaction horizon), got %d frames", len(b.Frames))
+	}
+	if err := replica.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	// More commits after the snapshot: shipped as plain frames.
+	commitPair(t, primary, e, "q-post", "a-post", 0.75)
+	shipAll(t, primary, replica, 0)
+	assertMirrors(t, primary, replica, []string{e.ID})
+
+	// The replica's durable state holds the cursor: reopen and keep
+	// shipping without a resync.
+	if err := replica.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dir := replica.cfg.Dir
+	replica2, err := Open(Config{Dir: dir, Shards: 1, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replica2.ReplicationCursor(0), primary.ReplicationCursor(0); got != want {
+		t.Fatalf("reopened replica cursor = %d, want %d", got, want)
+	}
+	commitPair(t, primary, e, "q-final", "a-final", 0.9)
+	shipAll(t, primary, replica2, 0)
+	assertMirrors(t, primary, replica2, []string{e.ID})
+	if err := errors.Join(primary.Close(), replica2.Close()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchRejectsGapsAndCorruption(t *testing.T) {
+	primary := NewMemory(Config{Shards: 1})
+	replica := NewMemory(Config{Shards: 1})
+	e, err := primary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		commitPair(t, primary, e, fmt.Sprintf("q%d", j), "a", 0.5)
+	}
+	b, err := primary.PullFrames(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the first frame: the rest no longer extends cursor 0.
+	gap := b
+	gap.Frames = b.Frames[1:]
+	if err := replica.ApplyBatch(gap); !errors.Is(err, ErrReplicaGap) {
+		t.Fatalf("gap apply error = %v, want ErrReplicaGap", err)
+	}
+	// Corrupt a frame body: the CRC scan must reject it.
+	bad := b
+	bad.Frames = []Frame{{Seq: 1, Data: append([]byte{}, b.Frames[0].Data...)}}
+	bad.Frames[0].Data[len(bad.Frames[0].Data)-1] ^= 0x5A
+	if err := replica.ApplyBatch(bad); err == nil {
+		t.Fatal("corrupt frame applied without error")
+	}
+	// The intact batch still applies cleanly afterwards.
+	if err := replica.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	assertMirrors(t, primary, replica, []string{e.ID})
+	// A cursor ahead of the primary is refused, not rewound.
+	if _, err := primary.PullFrames(0, primary.ReplicationCursor(0)+1, 0); err == nil {
+		t.Fatal("pull from a future cursor succeeded")
+	}
+}
+
+func TestNewSessionWithID(t *testing.T) {
+	st := NewMemory(Config{Shards: 4})
+	e, err := st.NewSessionWithID("c000042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "c000042" {
+		t.Fatalf("id = %q", e.ID)
+	}
+	if _, err := st.NewSessionWithID("c000042"); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("duplicate id error = %v, want ErrSessionExists", err)
+	}
+	if _, err := st.NewSessionWithID(""); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, status := st.Get("c000042"); status != Found {
+		t.Fatalf("lookup status = %v", status)
+	}
+}
+
+// TestPromotedReplicaAllocatesFreshIDs pins the promotion contract: a
+// replica that has applied the primary's records never re-issues a
+// session number the primary already handed out.
+func TestPromotedReplicaAllocatesFreshIDs(t *testing.T) {
+	primary := NewMemory(Config{Shards: 2})
+	replica := NewMemory(Config{Shards: 2})
+	seen := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		e, err := primary.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[e.ID] = true
+	}
+	shipAll(t, primary, replica, 0)
+	for i := 0; i < 5; i++ {
+		e, err := replica.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[e.ID] {
+			t.Fatalf("promoted replica re-issued id %s", e.ID)
+		}
+	}
+}
+
+// TestReplicationLagTracksPrimaryCursor drives a replica that applies
+// a batch while the primary keeps committing: lag reflects the
+// primary cursor stamped on the last applied batch.
+func TestReplicationLagTracksPrimaryCursor(t *testing.T) {
+	primary := NewMemory(Config{Shards: 1})
+	replica := NewMemory(Config{Shards: 1})
+	e, err := primary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitPair(t, primary, e, "q0", "a0", 0.5)
+	shipAll(t, primary, replica, 0)
+	commitPair(t, primary, e, "q1", "a1", 0.5)
+	commitPair(t, primary, e, "q2", "a2", 0.5)
+	// Pull one frame of the two outstanding: the batch carries the
+	// primary's full cursor, so lag = 1 after applying it.
+	b, err := primary.PullFrames(0, replica.ReplicationCursor(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if lag := replica.ReplicationLag(0); lag != 1 {
+		t.Fatalf("mid-catch-up lag = %d, want 1", lag)
+	}
+	shipAll(t, primary, replica, 0)
+	if lag := replica.ReplicationLag(0); lag != 0 {
+		t.Fatalf("caught-up lag = %d, want 0", lag)
+	}
+	if lag := primary.ReplicationLag(0); lag != 0 {
+		t.Fatalf("primary lag = %d, want 0", lag)
+	}
+}

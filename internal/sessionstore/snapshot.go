@@ -20,6 +20,12 @@ type snapshot struct {
 	MaxNum     int           `json:"max_num"`
 	Sessions   []sessionSnap `json:"sessions"`
 	Tombstones []string      `json:"tombstones"`
+	// ShipSeq is the replication cursor at the snapshot horizon: how
+	// many records had ever been appended to this shard's WAL when the
+	// snapshot was published. Recovery resumes the cursor at ShipSeq
+	// plus the replayed WAL length, keeping ship sequences monotonic
+	// across compactions and restarts.
+	ShipSeq int64 `json:"ship_seq,omitempty"`
 }
 
 // sessionSnap is one session's committed state.

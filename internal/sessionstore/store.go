@@ -126,6 +126,14 @@ type shard struct {
 	pending    int // WAL records since the last snapshot
 	snapEvery  int
 	nosync     bool
+	// shipBase is the ship sequence at the last snapshot horizon; tail
+	// holds the framed bytes of every record since, mirroring the
+	// on-disk WAL, so replication pulls serve committed frames without
+	// re-reading disk. remoteSeq is the highest primary cursor seen by
+	// ApplyBatch (replicas only), for lag reporting.
+	shipBase  int64
+	tail      [][]byte
+	remoteSeq int64
 	// compactErr holds the most recent snapshot-compaction failure.
 	// Compaction is an optimization — user traffic must not fail when
 	// it does — so the error is retried on later commits and surfaced
@@ -200,7 +208,8 @@ func Open(cfg Config) (*Store, error) {
 			return nil, err
 		}
 		sh.applySnapshot(snap, st.clock.Now())
-		w, recs, err := openWAL(
+		sh.shipBase = snap.ShipSeq
+		w, recs, frames, err := openWAL(
 			filepath.Join(cfg.Dir, fmt.Sprintf("shard-%02d.wal", i)),
 			"wal.append", cfg.Faults, cfg.NoFsync)
 		if err != nil {
@@ -211,6 +220,7 @@ func Open(cfg Config) (*Store, error) {
 			sh.replay(rec, st.clock.Now())
 		}
 		sh.pending = len(recs)
+		sh.tail = frames
 	}
 	for _, sh := range st.shards {
 		if sh.maxNum > st.nextNum {
@@ -296,9 +306,18 @@ func fnv32a(s string) uint32 {
 	return h
 }
 
+// ShardIndexFor maps a session id to its shard in a store with the
+// given power-of-two shard count — exported so the cluster router can
+// compute shard placement for remote stores it only reaches over the
+// wire (the hash is part of the replication protocol: primary and
+// replica must agree on it).
+func ShardIndexFor(id string, shards int) int {
+	return int(fnv32a(id)) & (shards - 1)
+}
+
 // ShardIndex maps a session id to its shard (power-of-two mask).
 func (s *Store) ShardIndex(id string) int {
-	return int(fnv32a(id)) & (len(s.shards) - 1)
+	return ShardIndexFor(id, len(s.shards))
 }
 
 // Shards reports the shard count.
@@ -315,6 +334,28 @@ func (s *Store) Len() int {
 	return n
 }
 
+// appendRecord frames rec, writes it durably to the WAL (when one is
+// configured), and retains the frame in the replication tail. Caller
+// holds sh.mu.
+func (sh *shard) appendRecord(rec walRecord) error {
+	buf, err := frame(rec)
+	if err != nil {
+		return err
+	}
+	if sh.wal != nil {
+		if err := sh.wal.appendFrame(buf); err != nil {
+			return err
+		}
+	}
+	sh.tail = append(sh.tail, buf)
+	sh.pending++
+	return nil
+}
+
+// ErrSessionExists is returned by NewSessionWithID when the id is
+// already live (or tombstoned) on this store.
+var ErrSessionExists = errors.New("sessionstore: session id already exists")
+
 // NewSession allocates the next session id, logs its creation, and
 // returns the live entry.
 func (s *Store) NewSession() (*Entry, error) {
@@ -322,21 +363,43 @@ func (s *Store) NewSession() (*Entry, error) {
 	s.nextNum++
 	num := s.nextNum
 	s.mu.Unlock()
-	id := fmt.Sprintf("s%04d", num)
+	return s.createSession(fmt.Sprintf("s%04d", num), num)
+}
+
+// NewSessionWithID creates a session under a caller-chosen id — the
+// cluster router picks ids up front so consistent-hash placement can
+// route every later request from the id alone. Ids already live or
+// tombstoned fail with ErrSessionExists; the internal numeric horizon
+// still advances so MaxNum bookkeeping stays monotone.
+func (s *Store) NewSessionWithID(id string) (*Entry, error) {
+	if id == "" {
+		return nil, errors.New("sessionstore: empty session id")
+	}
+	s.mu.Lock()
+	s.nextNum++
+	num := s.nextNum
+	s.mu.Unlock()
+	return s.createSession(id, num)
+}
+
+func (s *Store) createSession(id string, num int) (*Entry, error) {
 	sh := s.shards[s.ShardIndex(id)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if sh.wal != nil {
-		if err := sh.wal.append(walRecord{Kind: "create", ID: id, Num: num}); err != nil {
-			return nil, err
-		}
+	if sh.tombstones[id] {
+		return nil, fmt.Errorf("%w: %s (tombstoned)", ErrSessionExists, id)
+	}
+	if _, ok := sh.sessions[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrSessionExists, id)
+	}
+	if err := sh.appendRecord(walRecord{Kind: "create", ID: id, Num: num}); err != nil {
+		return nil, err
 	}
 	e := &Entry{ID: id, num: num, sess: dialogue.NewSession(), lastActive: s.clock.Now()}
 	sh.sessions[id] = e
 	if num > sh.maxNum {
 		sh.maxNum = num
 	}
-	sh.pending++
 	sh.compactIfDue()
 	return e, nil
 }
@@ -393,16 +456,13 @@ func (s *Store) CommitTurn(e *Entry) error {
 	pair := []turnRec{encodeTurn(e.sess.Turns[n-2]), encodeTurn(e.sess.Turns[n-1])}
 	rec := walRecord{Kind: "turn", ID: e.ID, Seq: len(e.committed),
 		Focus: e.sess.Focus, Turns: pair}
-	if sh.wal != nil {
-		if err := sh.wal.append(rec); err != nil {
-			e.sess.Turns = e.sess.Turns[:n-2]
-			return err
-		}
+	if err := sh.appendRecord(rec); err != nil {
+		e.sess.Turns = e.sess.Turns[:n-2]
+		return err
 	}
 	e.committed = append(e.committed, pair...)
 	e.focus = e.sess.Focus
 	e.lastActive = s.clock.Now()
-	sh.pending++
 	sh.compactIfDue()
 	return nil
 }
@@ -419,14 +479,11 @@ func encodeTurn(t dialogue.Turn) turnRec {
 // evict logs the eviction, then removes the session and leaves a
 // tombstone. Caller holds sh.mu.
 func (sh *shard) evict(e *Entry) error {
-	if sh.wal != nil {
-		if err := sh.wal.append(walRecord{Kind: "evict", ID: e.ID}); err != nil {
-			return err
-		}
+	if err := sh.appendRecord(walRecord{Kind: "evict", ID: e.ID}); err != nil {
+		return err
 	}
 	delete(sh.sessions, e.ID)
 	sh.tombstones[e.ID] = true
-	sh.pending++
 	sh.compactIfDue()
 	return nil
 }
@@ -472,7 +529,17 @@ func (s *Store) SweepIdle() (int, error) {
 // in the WAL, so user traffic continues and the error resurfaces at
 // the next cadence and at Close.
 func (sh *shard) compactIfDue() {
-	if sh.wal == nil || sh.pending < sh.snapEvery {
+	if sh.pending < sh.snapEvery {
+		return
+	}
+	if sh.wal == nil {
+		// Memory-only: there is no WAL to fold, but the replication tail
+		// must not grow without bound. Advancing the ship horizon drops
+		// the retained frames; a replica behind it gets a snapshot
+		// transfer built from live state instead.
+		sh.shipBase = sh.cursor()
+		sh.tail = nil
+		sh.pending = 0
 		return
 	}
 	if err := sh.compact(); err != nil {
@@ -480,13 +547,10 @@ func (sh *shard) compactIfDue() {
 	}
 }
 
-// compact folds the shard into a fresh snapshot and truncates the
-// WAL. Caller holds sh.mu.
-func (sh *shard) compact() error {
-	if sh.wal == nil || sh.wal.dead {
-		return nil
-	}
-	snap := snapshot{MaxNum: sh.maxNum}
+// buildSnapshot renders the shard's committed state as a snapshot
+// document, stamped with the current ship cursor. Caller holds sh.mu.
+func (sh *shard) buildSnapshot() snapshot {
+	snap := snapshot{MaxNum: sh.maxNum, ShipSeq: sh.cursor()}
 	ids := make([]string, 0, len(sh.sessions))
 	for id := range sh.sessions {
 		ids = append(ids, id)
@@ -501,12 +565,26 @@ func (sh *shard) compact() error {
 		snap.Tombstones = append(snap.Tombstones, id)
 	}
 	sort.Strings(snap.Tombstones)
+	return snap
+}
+
+// compact folds the shard into a fresh snapshot and truncates the
+// WAL. The ship horizon advances with the snapshot: replicas behind
+// it will be served a snapshot transfer instead of frames. Caller
+// holds sh.mu.
+func (sh *shard) compact() error {
+	if sh.wal == nil || sh.wal.dead {
+		return nil
+	}
+	snap := sh.buildSnapshot()
 	if err := writeSnapshot(sh.snapPath, snap, sh.nosync); err != nil {
 		return err
 	}
 	if err := sh.wal.reset(); err != nil {
 		return err
 	}
+	sh.shipBase = snap.ShipSeq
+	sh.tail = nil
 	sh.pending = 0
 	sh.compactErr = nil
 	return nil

@@ -75,58 +75,61 @@ type wal struct {
 }
 
 // openWAL opens (creating if absent) the shard log at path, scans it,
-// truncates any torn tail, and returns the decoded complete records.
-func openWAL(path, op string, faults WriteFaults, nosync bool) (*wal, []walRecord, error) {
+// truncates any torn tail, and returns the decoded complete records
+// alongside their raw frames (the replication tail).
+func openWAL(path, op string, faults WriteFaults, nosync bool) (*wal, []walRecord, [][]byte, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("sessionstore: read wal %s: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("sessionstore: read wal %s: %w", path, err)
 	}
-	recs, valid := scanWAL(raw)
+	recs, frames, valid := scanWAL(raw)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("sessionstore: open wal %s: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("sessionstore: open wal %s: %w", path, err)
 	}
 	if valid < int64(len(raw)) {
 		// Torn tail from a crash mid-append: drop the incomplete record
 		// so the next append starts on a clean frame boundary.
 		if err := f.Truncate(valid); err != nil {
 			cerr := f.Close()
-			return nil, nil, errors.Join(fmt.Errorf("sessionstore: truncate torn wal tail %s: %w", path, err), cerr)
+			return nil, nil, nil, errors.Join(fmt.Errorf("sessionstore: truncate torn wal tail %s: %w", path, err), cerr)
 		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		cerr := f.Close()
-		return nil, nil, errors.Join(fmt.Errorf("sessionstore: seek wal %s: %w", path, err), cerr)
+		return nil, nil, nil, errors.Join(fmt.Errorf("sessionstore: seek wal %s: %w", path, err), cerr)
 	}
-	return &wal{f: f, path: path, op: op, faults: faults, nosync: nosync}, recs, nil
+	return &wal{f: f, path: path, op: op, faults: faults, nosync: nosync}, recs, frames, nil
 }
 
 // scanWAL decodes the longest valid record prefix of raw, returning
-// the records and the byte offset of the end of the last complete
-// record. Anything after the first malformed frame is untrusted (a
-// torn append) and excluded.
-func scanWAL(raw []byte) ([]walRecord, int64) {
+// the records, their raw frames, and the byte offset of the end of
+// the last complete record. Anything after the first malformed frame
+// is untrusted (a torn append) and excluded.
+func scanWAL(raw []byte) ([]walRecord, [][]byte, int64) {
 	var recs []walRecord
+	var frames [][]byte
 	off := int64(0)
 	for {
 		rest := raw[off:]
 		if len(rest) < walHeaderSize || rest[0] != walMagic {
-			return recs, off
+			return recs, frames, off
 		}
 		n := binary.LittleEndian.Uint32(rest[1:5])
 		sum := binary.LittleEndian.Uint32(rest[5:9])
 		if uint32(len(rest)-walHeaderSize) < n {
-			return recs, off
+			return recs, frames, off
 		}
 		payload := rest[walHeaderSize : walHeaderSize+int(n)]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return recs, off
+			return recs, frames, off
 		}
 		var rec walRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
-			return recs, off
+			return recs, frames, off
 		}
 		recs = append(recs, rec)
+		frames = append(frames, rest[:walHeaderSize+int(n)])
 		off += int64(walHeaderSize) + int64(n)
 	}
 }
@@ -145,15 +148,12 @@ func frame(rec walRecord) ([]byte, error) {
 	return buf, nil
 }
 
-// append frames rec and writes it durably. A crash fault persists the
-// torn prefix, marks the wal dead, and returns ErrCrashed.
-func (w *wal) append(rec walRecord) error {
+// appendFrame writes an already-framed record durably. A crash fault
+// persists the torn prefix, marks the wal dead, and returns
+// ErrCrashed.
+func (w *wal) appendFrame(buf []byte) error {
 	if w.dead {
 		return ErrCrashed
-	}
-	buf, err := frame(rec)
-	if err != nil {
-		return err
 	}
 	if w.faults != nil {
 		cut, crashed := w.faults.TornWrite(w.op, buf)

@@ -20,9 +20,17 @@
 #
 #   go run scripts/benchdiff.go BENCH_baseline.json BENCH_vectorized.json
 #
+# A fourth pass snapshots the cluster suite (BenchmarkCluster*:
+# router+replication overhead per turn, failover time to the first
+# successful turn on the promoted replica, replica read throughput)
+# into BENCH_cluster.json; regressions are guarded the same way:
+#
+#   go run scripts/benchdiff.go -prefix BenchmarkCluster \
+#       BENCH_cluster.json <fresh-candidate>.json
+#
 # BENCHTIME (default 1x) controls -benchtime; use e.g. BENCHTIME=2s
 # for stable numbers, 1x for a smoke snapshot. OUT / OUT_SESSIONSTORE /
-# OUT_VECTORIZED override the output paths. The parallel families run
+# OUT_VECTORIZED / OUT_CLUSTER override the output paths. The parallel families run
 # the same fixture at workers=1 (the exact serial path) and several
 # widths, so the baseline file doubles as the serial-vs-parallel
 # comparison table; the vectorized families run engine=row vs
@@ -35,6 +43,7 @@ BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_baseline.json}"
 OUT_SESSIONSTORE="${OUT_SESSIONSTORE:-BENCH_sessionstore.json}"
 OUT_VECTORIZED="${OUT_VECTORIZED:-BENCH_vectorized.json}"
+OUT_CLUSTER="${OUT_CLUSTER:-BENCH_cluster.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -66,3 +75,4 @@ bench_json() {
 bench_json '^(BenchmarkE|BenchmarkParallel)' . "$OUT"
 bench_json '^BenchmarkSessionStore' ./internal/sessionstore "$OUT_SESSIONSTORE"
 bench_json '^(BenchmarkE|BenchmarkVectorized)' . "$OUT_VECTORIZED"
+bench_json '^BenchmarkCluster' . "$OUT_CLUSTER"

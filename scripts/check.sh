@@ -28,15 +28,22 @@
 #                      and the rendered transcripts are diffed byte for
 #                      byte; recovery must serve exactly the committed
 #                      prefix, including under injected torn WAL writes
-#   7. session durability — the sessionstore, admission, and durable
+#   7. cluster chaos — the multi-node gates under -race: ring and
+#                      router suites, replication shipping, and the
+#                      kill/partition cluster scenarios (failover must
+#                      serve the byte-identical committed prefix; a
+#                      healed partition must lose no committed turn;
+#                      both run twice and diff transcripts)
+#   8. session durability — the sessionstore, admission, and durable
 #                      server suites under -race (WAL replay, snapshot
 #                      compaction, TTL eviction, load shedding)
-#   8. go test -race — full test suite under the race detector
-#   9. bench smoke   — one iteration of every BenchmarkParallel*,
+#   9. go test -race — full test suite under the race detector
+#  10. bench smoke   — one iteration of every BenchmarkParallel*,
 #                      BenchmarkResilience*, BenchmarkVectorized*,
-#                      BenchmarkSessionStore*, BenchmarkCdalint, and
-#                      BenchmarkCdastate so a broken benchmark fixture
-#                      fails the gate, not the next perf investigation
+#                      BenchmarkCluster*, BenchmarkSessionStore*,
+#                      BenchmarkCdalint, and BenchmarkCdastate so a
+#                      broken benchmark fixture fails the gate, not
+#                      the next perf investigation
 #
 # Any non-zero exit fails the gate. See README "Static analysis &
 # reliability invariants" for what each cdalint rule enforces.
@@ -70,6 +77,11 @@ go test -race -run 'TestCancelled|TestDeadlineExceeded|TestOpenBreaker' ./intern
 echo "==> crash-recovery determinism (kill-and-recover twice per seed, diff transcripts)"
 go test -race -run 'TestKillRecover' ./internal/chaos
 
+echo "==> cluster routing, replication, and kill/partition chaos (-race)"
+go test -race ./internal/cluster
+go test -race -run 'TestCluster' ./internal/chaos
+go test -race -run 'TestHealthzReportsShardSeqAndLag|TestReplicaPaginationMidCatchUp|TestReplicationEndpointErrors' ./internal/server
+
 echo "==> session durability + admission (-race)"
 go test -race ./internal/sessionstore ./internal/admission
 go test -race -run 'TestSessionSurvivesRestart|TestTranscriptPagination|TestEvictedSessionGone|TestOverloadSheds|TestRateLimitSheds|TestConcurrentLifecycleAcrossShards|TestCreateSessionIDsMonotonicAcrossRestart' ./internal/server
@@ -77,8 +89,8 @@ go test -race -run 'TestSessionSurvivesRestart|TestTranscriptPagination|TestEvic
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> parallel + resilience + vectorized benchmark smoke (1 iteration)"
-go test -run='^$' -bench='^Benchmark(Parallel|Resilience|Vectorized)' -benchtime=1x .
+echo "==> parallel + resilience + vectorized + cluster benchmark smoke (1 iteration)"
+go test -run='^$' -bench='^Benchmark(Parallel|Resilience|Vectorized|Cluster)' -benchtime=1x .
 
 echo "==> session store benchmark smoke (1 iteration)"
 go test -run='^$' -bench='^BenchmarkSessionStore' -benchtime=1x ./internal/sessionstore
