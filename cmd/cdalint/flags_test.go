@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/analysis"
+)
+
+func names(as []*analysis.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func TestSelectAnalyzersDefault(t *testing.T) {
+	all := analysis.Analyzers()
+	got, err := selectAnalyzers(all, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all) {
+		t.Errorf("default selection = %d analyzers, want all %d", len(got), len(all))
+	}
+}
+
+func TestSelectAnalyzersOnly(t *testing.T) {
+	all := analysis.Analyzers()
+	got, err := selectAnalyzers(all, "racy-access, atomic-plain-mix", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"racy-access", "atomic-plain-mix"}
+	if len(got) != 2 {
+		t.Fatalf("selection = %v, want %v", names(got), want)
+	}
+	// Registry order is preserved regardless of argument order.
+	if got[0].Name != "racy-access" || got[1].Name != "atomic-plain-mix" {
+		t.Errorf("selection order = %v, want %v", names(got), want)
+	}
+}
+
+func TestSelectAnalyzersSkip(t *testing.T) {
+	all := analysis.Analyzers()
+	got, err := selectAnalyzers(all, "", "guard-escape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all)-1 {
+		t.Fatalf("skip selection = %d analyzers, want %d", len(got), len(all)-1)
+	}
+	for _, a := range got {
+		if a.Name == "guard-escape" {
+			t.Error("guard-escape survived -skip")
+		}
+	}
+}
+
+func TestSelectAnalyzersValidation(t *testing.T) {
+	all := analysis.Analyzers()
+	cases := []struct {
+		only, skip, wantErr string
+	}{
+		{"no-such-rule", "", "unknown analyzer"},
+		{"", "no-such-rule", "unknown analyzer"},
+		{"racy-access", "guard-escape", "mutually exclusive"},
+		{" , ", "", "empty rule list"},
+	}
+	for _, tc := range cases {
+		_, err := selectAnalyzers(all, tc.only, tc.skip)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("selectAnalyzers(%q, %q) error = %v, want containing %q",
+				tc.only, tc.skip, err, tc.wantErr)
+		}
+	}
+}
+
+func TestSelectAnalyzersSkipAll(t *testing.T) {
+	all := analysis.Analyzers()
+	var every []string
+	for _, a := range all {
+		every = append(every, a.Name)
+	}
+	if _, err := selectAnalyzers(all, "", strings.Join(every, ",")); err == nil {
+		t.Error("skipping every analyzer should be an error")
+	}
+}

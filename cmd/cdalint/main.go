@@ -15,7 +15,9 @@
 //
 // Flags:
 //
-//	-rules a,b   run only the named analyzers
+//	-only a,b    run only the named analyzers
+//	-skip a,b    run every analyzer except the named ones
+//	-rules a,b   legacy alias for -only
 //	-tests       also lint in-package _test.go files
 //	-list        print the available analyzers and exit
 //	-werror      treat warnings as fatal (default true)
@@ -33,7 +35,9 @@ import (
 )
 
 var (
-	rules  = flag.String("rules", "", "comma-separated analyzer names to run (default all)")
+	only   = flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	skip   = flag.String("skip", "", "comma-separated analyzer names to exclude")
+	rules  = flag.String("rules", "", "legacy alias for -only")
 	tests  = flag.Bool("tests", false, "also lint in-package _test.go files")
 	list   = flag.Bool("list", false, "list available analyzers and exit")
 	werror = flag.Bool("werror", true, "exit nonzero on warnings too")
@@ -49,17 +53,16 @@ func main() {
 		return
 	}
 
-	analyzers := analysis.Analyzers()
+	onlyArg := *only
 	if *rules != "" {
-		analyzers = analyzers[:0:0]
-		for _, name := range strings.Split(*rules, ",") {
-			name = strings.TrimSpace(name)
-			a := analysis.AnalyzerByName(name)
-			if a == nil {
-				fatalf("cdalint: unknown analyzer %q (use -list)", name)
-			}
-			analyzers = append(analyzers, a)
+		if onlyArg != "" {
+			fatalf("cdalint: -rules is a legacy alias for -only; pass one of them, not both")
 		}
+		onlyArg = *rules
+	}
+	analyzers, err := selectAnalyzers(analysis.Analyzers(), onlyArg, *skip)
+	if err != nil {
+		fatalf("cdalint: %v", err)
 	}
 
 	patterns := flag.Args()

@@ -27,8 +27,10 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"sync"
 
 	"github.com/reliable-cda/cda/internal/analysis/flow"
+	"github.com/reliable-cda/cda/internal/analysis/lockset"
 )
 
 // Severity classifies a finding. Errors violate a reliability
@@ -84,6 +86,19 @@ type Module struct {
 	Pkgs  []*Package
 	Units []*flow.Unit
 	Graph *flow.Graph
+
+	locksetOnce sync.Once
+	lockset     *lockset.Result
+}
+
+// Lockset runs the module-wide lockset analysis once and caches the
+// result: the three cdarace rules all read from it, so enabling one
+// or all of them costs a single interprocedural fixed point.
+func (m *Module) Lockset() *lockset.Result {
+	m.locksetOnce.Do(func() {
+		m.lockset = lockset.Analyze(m.Graph)
+	})
+	return m.lockset
 }
 
 // NewModule assembles the flow units and call graph for the packages.
@@ -119,6 +134,9 @@ func Analyzers() []*Analyzer {
 		ResourceLeak,
 		FsyncOrder,
 		GoroutineLeak,
+		RacyAccess,
+		AtomicPlainMix,
+		GuardEscape,
 	}
 }
 
@@ -210,4 +228,7 @@ const (
 	ruleResourceLeak      = "resource-leak"
 	ruleFsyncOrder        = "fsync-order"
 	ruleGoroutineLeak     = "goroutine-leak"
+	ruleRacyAccess        = "racy-access"
+	ruleAtomicPlainMix    = "atomic-plain-mix"
+	ruleGuardEscape       = "guard-escape"
 )

@@ -76,6 +76,9 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"resource-leak", "resourceleak"},
 		{"fsync-order", "fsyncorder"},
 		{"goroutine-leak", "goroutineleak"},
+		{"racy-access", "racyaccess"},
+		{"atomic-plain-mix", "atomicmix"},
+		{"guard-escape", "guardescape"},
 	}
 	loader := newTestLoader(t)
 	for _, tc := range cases {
@@ -128,6 +131,9 @@ func TestSuppressedSitesAreCounted(t *testing.T) {
 		"resource-leak":      "resourceleak",
 		"fsync-order":        "fsyncorder",
 		"goroutine-leak":     "goroutineleak",
+		"racy-access":        "racyaccess",
+		"atomic-plain-mix":   "atomicmix",
+		"guard-escape":       "guardescape",
 	}
 	loader := newTestLoader(t)
 	for rule, dir := range cases {
@@ -178,6 +184,43 @@ func TestIgnoreScopeGolden(t *testing.T) {
 	filtered := len(Run([]*Package{p}, []*Analyzer{a}))
 	if raw != filtered+2 {
 		t.Errorf("expected exactly 2 suppressed sites — the wrapped statement in each function — got raw=%d filtered=%d", raw, filtered)
+	}
+}
+
+// TestIgnoreLitScopeGolden pins directive scoping at function-literal
+// and select-case boundaries for a CFG-based rule: a directive on a
+// spawning go/defer statement covers the statement header only and
+// never the literal body (the leaks inside spawnLeaky/deferClosure
+// survive it), while directives placed inside the literal or at the
+// end of a select case arm's own line suppress exactly their sites.
+func TestIgnoreLitScopeGolden(t *testing.T) {
+	loader := newTestLoader(t)
+	a := AnalyzerByName("unlock-path")
+	p := loadFixture(t, loader, "ignorelit")
+	got := renderFindings(t, Run([]*Package{p}, []*Analyzer{a}))
+	goldenPath := filepath.Join("testdata", "ignorelit.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	raw := len(rawFindings(a, p))
+	filtered := len(Run([]*Package{p}, []*Analyzer{a}))
+	if raw != filtered+2 {
+		t.Errorf("expected exactly 2 suppressed sites — inside the literal and in the select arm — got raw=%d filtered=%d", raw, filtered)
+	}
+	for _, fn := range []string{"spawnLeaky", "deferClosure"} {
+		if !strings.Contains(got, "ignorelit") {
+			t.Errorf("golden should contain the surviving %s finding", fn)
+		}
 	}
 }
 

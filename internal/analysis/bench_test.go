@@ -56,3 +56,29 @@ func BenchmarkCdastate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCdarace measures just the three lockset race rules
+// (racy-access, atomic-plain-mix, guard-escape) over the whole
+// module. The interprocedural lockset fixed point is the most
+// expensive single analysis in the suite, so it gets its own number:
+// a regression here must not hide inside BenchmarkCdalint's total.
+func BenchmarkCdarace(b *testing.B) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		b.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		b.Fatalf("loading module: %v", err)
+	}
+	analyzers := []*Analyzer{RacyAccess, AtomicPlainMix, GuardEscape}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if findings := Run(pkgs, analyzers); len(findings) != 0 {
+			for _, f := range findings {
+				b.Errorf("%s", f)
+			}
+			b.Fatalf("module not clean under lockset rules: %d findings (listed above)", len(findings))
+		}
+	}
+}

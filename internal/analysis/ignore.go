@@ -74,12 +74,27 @@ func ignoresFor(p *Package) ignoreSet {
 // stmtEndsByLine maps the line a simple (non-block) statement starts
 // on to the last line it spans. Block-bearing statements (if, for,
 // switch, func) are deliberately excluded: a directive above an if
-// statement must not silence the whole body.
+// statement must not silence the whole body. The same boundary
+// applies to function literals inside otherwise-simple statements — a
+// `go func() { … }()` or a deferred closure is a statement whose
+// header happens to carry a block, and a directive on the spawning
+// statement must not silence every finding in the literal's body: the
+// span is capped at the literal's opening brace, so suppressions
+// inside the body go on the offending lines themselves.
 func stmtEndsByLine(fset *token.FileSet, f *ast.File) map[int]int {
 	ends := map[int]int{}
 	record := func(n ast.Node) {
 		start := fset.Position(n.Pos()).Line
 		end := fset.Position(n.End()).Line
+		ast.Inspect(n, func(m ast.Node) bool {
+			if fl, ok := m.(*ast.FuncLit); ok {
+				if brace := fset.Position(fl.Body.Lbrace).Line; brace < end {
+					end = brace
+				}
+				return false
+			}
+			return true
+		})
 		if end > ends[start] {
 			ends[start] = end
 		}

@@ -1,0 +1,614 @@
+// Package lockset implements the interprocedural lockset engine under
+// the cdarace rule family (racy-access, atomic-plain-mix,
+// guard-escape): a module-wide static race analysis that composes the
+// flow package's call graph with the typestate package's per-function
+// control-flow graphs.
+//
+// The analysis has three layers:
+//
+//  1. A MUST-lockset dataflow per function body: at every program
+//     point, the set of mutexes that are held on EVERY path reaching
+//     it. Joins are intersections (the dual of the typestate powerset
+//     rules — a lock held on only one incoming path does not guard
+//     anything), Lock/RLock adds a key, Unlock/RUnlock removes it,
+//     and a deferred unlock keeps the lock held for the remainder of
+//     the function while excluding it from the exit summary.
+//
+//  2. Interprocedural lock summaries, iterated to a fixed point over
+//     the call graph: a function that acquires a mutex reachable from
+//     its receiver, a parameter, or a package-level variable and still
+//     holds it at exit exports an Acquires point; a function that
+//     releases a mutex it never acquired exports a Releases point.
+//     Call sites map the callee's points back through the receiver and
+//     argument expressions, so lock()/unlock() helper pairs — and
+//     helpers calling helpers — keep the caller's lockset exact.
+//
+//  3. Guard inference, field by field: every read or write of a
+//     struct field reachable from a receiver, parameter, or global is
+//     recorded together with the same-object locks held at that point.
+//     A field whose accesses are dominantly (>= 3/4, and at least 2)
+//     under one mutex is inferred "guarded by" it; the rules built on
+//     top flag the minority accesses that touch the field with the
+//     lockset empty.
+//
+// Goroutine spawn points clear the lockset: a function literal behind
+// a `go` statement, or handed to the internal/parallel worker pools,
+// is analyzed with an empty entry lockset — locks held at the spawn
+// site do not protect the code that runs on the other goroutine.
+// Other literals (deferred closures, sort.Slice comparators, immediate
+// calls) inherit the lockset at their syntactic position. Accesses
+// whose base object is a plain local variable are excluded entirely:
+// a freshly constructed object is unshared until it escapes, so
+// constructor writes never dilute guard inference.
+//
+// Like flow and typestate, the package is stdlib-only and documents
+// its unsound corners instead of chasing them (see DESIGN.md "Lockset
+// analysis"): aliasing through locals is invisible, a write under
+// RLock counts as guarded, and interface calls apply the union of all
+// known implementations' summaries.
+package lockset
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/analysis/flow"
+	"github.com/reliable-cda/cda/internal/analysis/typestate"
+)
+
+// maxRounds bounds the summary fixed point. Acquire propagation alone
+// is monotone, but Releases can shrink downstream locksets, so the
+// combined iteration is cut off deterministically rather than proven
+// convergent; real modules stabilize in two or three rounds.
+const maxRounds = 8
+
+// parallelPkgSuffix identifies the deterministic worker-pool package.
+// Function literals handed to it run on other goroutines, so they are
+// lockset-clearing spawn points exactly like go statements.
+const parallelPkgSuffix = "/internal/parallel"
+
+// key identifies one mutex as seen from inside a function body: the
+// root object (receiver, parameter, global, or local) plus the dotted
+// field path down to the sync.Mutex/RWMutex.
+type key struct {
+	root types.Object
+	path string
+}
+
+// facts is the per-key dataflow state.
+type facts uint8
+
+const (
+	// held: the lock is held on every path reaching this point.
+	held facts = 1 << iota
+	// deferredRelease: a deferred unlock covers the lock — it stays
+	// held to the end of the function but is released when the
+	// function returns, so it must not appear in the exit summary.
+	deferredRelease
+)
+
+// state is the must-lockset at one program point.
+type state map[key]facts
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, f := range s {
+		out[k] = f
+	}
+	return out
+}
+
+// meet intersects o into s — the must-analysis join — and reports
+// whether s changed. A key survives only when held on both sides; a
+// deferred release on either side is remembered (conservative for the
+// exit summary: the lock will not outlive the function).
+func (s state) meet(o state) bool {
+	changed := false
+	for k, f := range s {
+		of, ok := o[k]
+		if !ok || of&held == 0 {
+			delete(s, k)
+			changed = true
+			continue
+		}
+		nf := f | (of & deferredRelease)
+		if nf != f {
+			s[k] = nf
+			changed = true
+		}
+	}
+	return changed
+}
+
+// PointGlobal marks a Point rooted at a package-level variable.
+const PointGlobal = -2
+
+// Point is one caller-mappable mutex in a function summary: rooted at
+// the receiver (Idx -1), a parameter (Idx >= 0), or a package-level
+// variable (Idx PointGlobal, Obj set), with the field path to the
+// mutex.
+type Point struct {
+	Idx  int
+	Path string
+	Obj  types.Object
+}
+
+// Summary is one function's interprocedural lock behaviour.
+type Summary struct {
+	// Acquires are mutexes the function locks and still holds on every
+	// normal return (lock() helpers).
+	Acquires map[Point]bool
+	// Releases are mutexes the function unlocks without having locked
+	// them itself (unlock() helpers).
+	Releases map[Point]bool
+}
+
+func newSummary() *Summary {
+	return &Summary{Acquires: map[Point]bool{}, Releases: map[Point]bool{}}
+}
+
+func summaryEqual(a, b *Summary) bool {
+	if len(a.Acquires) != len(b.Acquires) || len(a.Releases) != len(b.Releases) {
+		return false
+	}
+	for p := range a.Acquires {
+		if !b.Acquires[p] {
+			return false
+		}
+	}
+	for p := range a.Releases {
+		if !b.Releases[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// EscapeKind classifies how a field access leaks its reference.
+type EscapeKind int
+
+const (
+	// EscapeNone: an ordinary read or write.
+	EscapeNone EscapeKind = iota
+	// EscapeReturn: the field itself (or its address) is a return
+	// result — the reference outlives any lock region.
+	EscapeReturn
+	// EscapeGo: the field is passed as an argument to a go statement's
+	// call — the reference crosses a goroutine boundary.
+	EscapeGo
+)
+
+// Access is one recorded read or write of a shared struct field.
+type Access struct {
+	Unit   *flow.Unit
+	Fn     *types.Func // enclosing declared function (literals included)
+	Pos    token.Pos
+	Write  bool
+	Escape EscapeKind
+	// Addr marks address-of accesses (&x.f): the reference itself was
+	// taken, so an escape aliases the field even when its type is not
+	// a pointer/slice/map.
+	Addr bool
+	// Held are the same-root-object lock field paths held (must) at
+	// the access.
+	Held map[string]bool
+}
+
+// GroupKey identifies a field across the module: the fully qualified
+// root struct type plus the dotted field path.
+type GroupKey struct {
+	Type string
+	Path string
+}
+
+// Group collects every access to one field, with the inferred guard.
+type Group struct {
+	Key GroupKey
+	// Display renders the field for diagnostics ("member.cursors").
+	Display string
+	// Accesses are the plain (non-atomic) reads and writes, in
+	// deterministic order.
+	Accesses []*Access
+	// Atomics are accesses through sync/atomic functions.
+	Atomics []*Access
+	// Guard is the inferred guarding mutex field path ("" when no
+	// dominant guard exists); Guarded counts accesses holding it.
+	Guard   string
+	Guarded int
+	// Ref marks pointer/slice/map fields — the ones whose escape
+	// aliases guarded state.
+	Ref bool
+}
+
+// Result is the module-wide analysis output the cdarace rules consume.
+type Result struct {
+	// Summaries maps every declared function to its lock summary.
+	Summaries map[*types.Func]*Summary
+	// Groups lists every accessed shared field, sorted by GroupKey.
+	Groups []*Group
+}
+
+// engine carries the per-run state.
+type engine struct {
+	g      *flow.Graph
+	sums   map[*types.Func]*Summary
+	cfgs   map[*types.Func]*typestate.CFG
+	groups map[GroupKey]*Group
+
+	// curReleases collects release-at-entry points while replaying one
+	// declared function during summary computation.
+	curFn       *types.Func
+	curReleases map[Point]bool
+
+	// fresh holds the current declared function's freshly constructed
+	// locals during the recording pass.
+	fresh map[types.Object]bool
+}
+
+// Analyze runs the full lockset analysis over the module graph.
+func Analyze(g *flow.Graph) *Result {
+	e := &engine{
+		g:      g,
+		sums:   map[*types.Func]*Summary{},
+		cfgs:   map[*types.Func]*typestate.CFG{},
+		groups: map[GroupKey]*Group{},
+	}
+	fns := e.sortedFuncs()
+	for _, fn := range fns {
+		e.sums[fn] = newSummary()
+	}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, fn := range fns {
+			ns := e.computeSummary(fn)
+			if !summaryEqual(e.sums[fn], ns) {
+				e.sums[fn] = ns
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, fn := range fns {
+		info := e.g.Funcs[fn]
+		e.fresh = freshLocals(info.Unit, info.Decl.Body)
+		e.analyzeBody(info.Unit, fn, info.Decl.Body, state{}, true)
+	}
+	e.fresh = nil
+	return e.result()
+}
+
+// sortedFuncs orders the graph's functions deterministically.
+func (e *engine) sortedFuncs() []*types.Func {
+	fns := make([]*types.Func, 0, len(e.g.Funcs))
+	for fn := range e.g.Funcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		a, b := fns[i], fns[j]
+		if a.FullName() != b.FullName() {
+			return a.FullName() < b.FullName()
+		}
+		return a.Pos() < b.Pos()
+	})
+	return fns
+}
+
+// cfgFor builds (and caches) the CFG of a declared function.
+func (e *engine) cfgFor(fn *types.Func) *typestate.CFG {
+	if cfg, ok := e.cfgs[fn]; ok {
+		return cfg
+	}
+	info := e.g.Funcs[fn]
+	cfg := typestate.Build(info.Decl.Body, func(call *ast.CallExpr) typestate.CallKind {
+		return classifyCall(info.Unit, call)
+	})
+	e.cfgs[fn] = cfg
+	return cfg
+}
+
+// computeSummary derives one function's summary from the current
+// round's callee summaries: solve the must-lockset to a fixed point,
+// then replay once to collect release-at-entry points and read the
+// exit lockset.
+func (e *engine) computeSummary(fn *types.Func) *Summary {
+	info := e.g.Funcs[fn]
+	cfg := e.cfgFor(fn)
+	e.curFn, e.curReleases = fn, map[Point]bool{}
+	exit := e.solveAndReplay(info.Unit, fn, cfg, state{}, false)
+	sum := newSummary()
+	for k, f := range exit {
+		if f&held == 0 || f&deferredRelease != 0 {
+			continue
+		}
+		if pt, ok := pointFor(fn, k); ok {
+			sum.Acquires[pt] = true
+		}
+	}
+	for pt := range e.curReleases {
+		sum.Releases[pt] = true
+	}
+	e.curFn, e.curReleases = nil, nil
+	return sum
+}
+
+// analyzeBody runs the recording pass over one declared function:
+// solve, then replay with access recording on. Literal bodies found
+// during the replay are analyzed recursively by the walker with entry
+// locksets per their spawn classification.
+func (e *engine) analyzeBody(u *flow.Unit, fn *types.Func, body *ast.BlockStmt, entry state, rec bool) {
+	e.solveAndReplay(u, fn, e.cfgFor(fn), entry, rec)
+}
+
+// solveAndReplay computes the fixed point over the CFG, then replays
+// every reachable block once with its converged in-state, returning
+// the state at the normal exit.
+func (e *engine) solveAndReplay(u *flow.Unit, fn *types.Func, cfg *typestate.CFG, entry state, rec bool) state {
+	in := map[*typestate.Block]state{cfg.Entry: entry.clone()}
+	queue := []*typestate.Block{cfg.Entry}
+	queued := map[*typestate.Block]bool{cfg.Entry: true}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+		s := in[b].clone()
+		w := &walker{e: e, u: u, fn: fn, s: s}
+		for _, n := range b.Nodes {
+			w.node(n)
+		}
+		for _, edge := range b.Succs {
+			tgt, ok := in[edge.To]
+			if !ok {
+				in[edge.To] = s.clone()
+			} else if !tgt.meet(s) {
+				continue
+			}
+			if !queued[edge.To] {
+				queued[edge.To] = true
+				queue = append(queue, edge.To)
+			}
+		}
+	}
+	// Replay in block order: deterministic, one visit per node, with
+	// recording (accesses, literal bodies, summary releases) enabled.
+	for _, b := range cfg.Blocks {
+		s, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		w := &walker{e: e, u: u, fn: fn, s: s.clone(), rec: rec, collect: e.curReleases != nil}
+		for _, n := range b.Nodes {
+			w.node(n)
+		}
+	}
+	exit, ok := in[cfg.Exit]
+	if !ok {
+		return nil
+	}
+	return exit
+}
+
+// pointFor maps a lock key to a caller-mappable summary point:
+// receiver, parameter, or package-level variable. Locals are not
+// mappable.
+func pointFor(fn *types.Func, k key) (Point, bool) {
+	idx, ok := rootClass(fn, k.root)
+	if !ok {
+		return Point{}, false
+	}
+	pt := Point{Idx: idx, Path: k.path}
+	if idx == PointGlobal {
+		pt.Obj = k.root
+	}
+	return pt, true
+}
+
+// rootClass classifies an object against a declared function's frame:
+// receiver (-1), parameter index, or PointGlobal for package-level
+// variables. Everything else — locals, named results, literal params —
+// is not caller-mappable.
+func rootClass(fn *types.Func, obj types.Object) (int, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return 0, false
+	}
+	if recv := sig.Recv(); recv != nil && obj == recv {
+		return -1, true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if obj == sig.Params().At(i) {
+			return i, true
+		}
+	}
+	if v, ok := obj.(*types.Var); ok && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return PointGlobal, true
+	}
+	return 0, false
+}
+
+// result assembles the sorted groups with guards inferred.
+func (e *engine) result() *Result {
+	groups := make([]*Group, 0, len(e.groups))
+	for _, grp := range e.groups {
+		inferGuard(grp)
+		groups = append(groups, grp)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		a, b := groups[i], groups[j]
+		if a.Key.Type != b.Key.Type {
+			return a.Key.Type < b.Key.Type
+		}
+		return a.Key.Path < b.Key.Path
+	})
+	return &Result{Summaries: e.sums, Groups: groups}
+}
+
+// inferGuard picks the dominant-majority lock for one field: the most
+// frequently held same-object mutex, provided it covers at least two
+// accesses and at least 3/4 of them. Ties break lexicographically so
+// the result is deterministic.
+func inferGuard(grp *Group) {
+	counts := map[string]int{}
+	for _, a := range grp.Accesses {
+		for p := range a.Held {
+			counts[p]++
+		}
+	}
+	paths := make([]string, 0, len(counts))
+	for p := range counts {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	best, bestN := "", 0
+	for _, p := range paths {
+		if counts[p] > bestN {
+			best, bestN = p, counts[p]
+		}
+	}
+	if bestN >= 2 && bestN*4 >= len(grp.Accesses)*3 {
+		grp.Guard, grp.Guarded = best, bestN
+	}
+}
+
+// classifyCall resolves a call's control-flow effect for the CFG
+// builder — the builtin panic unwinds, the conventional never-return
+// functions terminate the block. Mirrors the analysis package's
+// classifier, which lockset cannot import.
+func classifyCall(u *flow.Unit, call *ast.CallExpr) typestate.CallKind {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := u.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return typestate.CallPanic
+		}
+	}
+	switch calleeName(u, call) {
+	case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+		return typestate.CallNoReturn
+	}
+	return typestate.CallNormal
+}
+
+// calleeName returns the full name of the called declared function
+// ("sync/atomic.AddInt64", "(*sync.Mutex).Lock"), or "".
+func calleeName(u *flow.Unit, call *ast.CallExpr) string {
+	if fn := calleeFunc(u, call); fn != nil {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes, or nil.
+func calleeFunc(u *flow.Unit, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := u.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := u.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// callTargets resolves a call to its declared targets, adding every
+// known implementation when the callee is an interface method.
+func (e *engine) callTargets(u *flow.Unit, call *ast.CallExpr) []*types.Func {
+	callee := calleeFunc(u, call)
+	if callee == nil {
+		return nil
+	}
+	targets := []*types.Func{callee}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		targets = append(targets, e.g.Impls[callee]...)
+	}
+	return targets
+}
+
+// joinPath concatenates two dotted field paths.
+func joinPath(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "." + b
+}
+
+// namedOf unwraps one pointer level and returns the named type, or
+// nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeDisplay renders a named type for GroupKey ("pkg/path.T") and
+// diagnostics ("T").
+func typeDisplay(n *types.Named) (full, short string) {
+	obj := n.Obj()
+	short = obj.Name()
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + short, short
+	}
+	return short, short
+}
+
+// skipFieldType excludes fields that synchronize themselves (sync.*,
+// sync/atomic.* values, channels) from access tracking: the mutexes
+// ARE the guards, typed atomics are race-free by construction, and
+// channel operations order themselves.
+func skipFieldType(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	if named := namedOf(t); named != nil && named.Obj().Pkg() != nil {
+		switch named.Obj().Pkg().Path() {
+		case "sync", "sync/atomic":
+			return true
+		}
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	return false
+}
+
+// refType reports whether escaping the field aliases shared state:
+// pointers, slices, and maps.
+func refType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// mutexType reports whether t is sync.Mutex or sync.RWMutex,
+// unwrapping one pointer level.
+func mutexType(t types.Type) (rw bool, ok bool) {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// isParallelPkg reports whether fn is declared in the worker-pool
+// package whose callbacks run on spawned goroutines.
+func isParallelPkg(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), parallelPkgSuffix)
+}

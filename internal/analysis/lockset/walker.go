@@ -1,0 +1,630 @@
+package lockset
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/reliable-cda/cda/internal/analysis/flow"
+	"github.com/reliable-cda/cda/internal/analysis/typestate"
+)
+
+// walker applies one CFG node's effects to the lockset state. During
+// the solver iterations only the state matters; during the replay pass
+// (rec) it also records field accesses, escapes, and recursion into
+// function literal bodies, and during summary replay (collect) it
+// gathers release-at-entry points.
+type walker struct {
+	e       *engine
+	u       *flow.Unit
+	fn      *types.Func
+	s       state
+	rec     bool
+	collect bool
+}
+
+// accOpts qualifies one recorded access.
+type accOpts struct {
+	write  bool
+	atomic bool
+	escape EscapeKind
+	addr   bool
+}
+
+// node dispatches one CFG node. The CFG lowers compound statements, so
+// nodes are straight-line statements and steering expressions only.
+func (w *walker) node(n ast.Node) {
+	switch t := n.(type) {
+	case *ast.GoStmt:
+		w.goStmt(t)
+	case *ast.DeferStmt:
+		w.deferStmt(t)
+	case *ast.ReturnStmt:
+		for _, res := range t.Results {
+			w.escapeExpr(res, EscapeReturn)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range t.Rhs {
+			w.expr(rhs)
+		}
+		for _, lhs := range t.Lhs {
+			w.writeExpr(lhs)
+		}
+	case *ast.IncDecStmt:
+		w.writeExpr(t.X)
+	case *ast.ExprStmt:
+		w.expr(t.X)
+	case *ast.SendStmt:
+		w.expr(t.Chan)
+		w.expr(t.Value)
+	default:
+		if e, ok := n.(ast.Expr); ok {
+			w.expr(e)
+			return
+		}
+		w.children(n)
+	}
+}
+
+// children walks n's direct children through node — one level of
+// recursion at a time, so every special case above applies at any
+// depth.
+func (w *walker) children(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n {
+			return true
+		}
+		if m == nil {
+			return false
+		}
+		w.node(m)
+		return false
+	})
+}
+
+// expr evaluates one expression for reads, lock events, and literals.
+func (w *walker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch t := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		w.call(t)
+	case *ast.FuncLit:
+		// A literal stored or passed outside a spawn context
+		// (callback registration, sort comparator, immediate local):
+		// conservatively analyzed with the lockset at its position.
+		w.lit(t, w.s.clone())
+	case *ast.SelectorExpr:
+		if !w.access(t, accOpts{}) {
+			w.children(t)
+		}
+	case *ast.UnaryExpr:
+		if t.Op == token.AND && w.access(t.X, accOpts{addr: true}) {
+			return
+		}
+		w.expr(t.X)
+	default:
+		w.children(t)
+	}
+}
+
+// writeExpr evaluates an assignment target: the deepest field chain is
+// a write; writes through an index or a dereference mutate the
+// container field's contents and count against it.
+func (w *walker) writeExpr(e ast.Expr) {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if !w.access(t, accOpts{write: true}) {
+			w.children(t)
+		}
+	case *ast.IndexExpr:
+		w.writeExpr(t.X)
+		w.expr(t.Index)
+	case *ast.StarExpr:
+		w.writeExpr(t.X)
+	case *ast.Ident:
+		// A plain local/global write with no field involved.
+	default:
+		w.expr(e)
+	}
+}
+
+// escapeExpr evaluates a return result or go-call argument: a field
+// chain (or its address) leaking whole is recorded with the escape
+// kind; anything else is an ordinary evaluation.
+func (w *walker) escapeExpr(e ast.Expr, kind EscapeKind) {
+	u := ast.Unparen(e)
+	if un, ok := u.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		if w.access(un.X, accOpts{escape: kind, addr: true}) {
+			return
+		}
+	}
+	if sel, ok := u.(*ast.SelectorExpr); ok {
+		if w.access(sel, accOpts{escape: kind}) {
+			return
+		}
+	}
+	w.expr(e)
+}
+
+// call applies one call expression: lock events, sync/atomic
+// operations, operand evaluation (with spawn classification for
+// literal arguments), and the callee's interprocedural summary.
+func (w *walker) call(call *ast.CallExpr) {
+	if ev, ok := w.lockEvent(call); ok {
+		w.applyLockEvent(ev, false)
+		return
+	}
+	name := calleeName(w.u, call)
+	if rest, ok := strings.CutPrefix(name, "sync/atomic."); ok {
+		w.atomicCall(call, rest)
+		return
+	}
+	targets := w.e.callTargets(w.u, call)
+	spawn := false
+	for _, tg := range targets {
+		if isParallelPkg(tg) {
+			spawn = true
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		// Immediately invoked: runs here, under the current lockset.
+		w.lit(fun, w.s.clone())
+	case *ast.SelectorExpr:
+		if !w.access(fun, accOpts{}) {
+			w.children(fun)
+		}
+	default:
+		w.expr(call.Fun)
+	}
+	for _, arg := range call.Args {
+		if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			if spawn {
+				// Worker-pool submission: the literal runs on another
+				// goroutine — locks held here do not protect it.
+				w.lit(fl, state{})
+			} else {
+				w.lit(fl, w.s.clone())
+			}
+			continue
+		}
+		w.expr(arg)
+	}
+	w.applySummaries(call, targets)
+}
+
+// goStmt is a spawn point: literals run with an empty lockset, and
+// every field chain handed to the call escapes to the new goroutine.
+// The spawned call's lock effects happen over there — no summary is
+// applied to this goroutine's state.
+func (w *walker) goStmt(g *ast.GoStmt) {
+	call := g.Call
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		w.lit(fun, state{})
+	case *ast.SelectorExpr:
+		if !w.access(fun, accOpts{escape: EscapeGo}) {
+			w.children(fun)
+		}
+	default:
+		w.expr(call.Fun)
+	}
+	for _, arg := range call.Args {
+		if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			w.lit(fl, state{})
+			continue
+		}
+		w.escapeExpr(arg, EscapeGo)
+	}
+}
+
+// deferStmt applies a deferred call's release effects at registration
+// (the CFG keeps defers as plain nodes): a direct unlock, every unlock
+// inside a deferred closure, or a deferred helper whose summary
+// releases. Held locks covered this way stay held to the end of the
+// function but are excluded from the exit summary.
+func (w *walker) deferStmt(d *ast.DeferStmt) {
+	call := d.Call
+	if ev, ok := w.lockEvent(call); ok {
+		w.applyLockEvent(ev, true)
+		return
+	}
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		typestate.InspectNoFuncLit(fl.Body, func(m ast.Node) bool {
+			if inner, ok := m.(*ast.CallExpr); ok {
+				if ev, ok := w.lockEvent(inner); ok && ev.unlock {
+					w.applyLockEvent(ev, true)
+				}
+			}
+			return true
+		})
+		// The closure body itself runs at function exit with (at
+		// least) the lockset of the registration point.
+		w.lit(fl, w.s.clone())
+		return
+	}
+	for _, tg := range w.e.callTargets(w.u, call) {
+		sum := w.e.sums[tg]
+		if sum == nil {
+			continue
+		}
+		for pt := range sum.Releases {
+			k, ok := w.mapPoint(call, pt)
+			if !ok {
+				continue
+			}
+			if f, isHeld := w.s[k]; isHeld && f&held != 0 {
+				w.s[k] = f | deferredRelease
+			}
+		}
+	}
+	// Receiver and arguments are evaluated at registration time.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if !w.access(fun, accOpts{}) {
+			w.children(fun)
+		}
+	default:
+		w.expr(call.Fun)
+	}
+	for _, arg := range call.Args {
+		w.expr(arg)
+	}
+}
+
+// lit analyzes a function literal body as its own CFG, attributed to
+// the enclosing declared function, with the given entry lockset.
+// Literal bodies are only walked during the recording pass; they never
+// contribute to summaries.
+func (w *walker) lit(fl *ast.FuncLit, entry state) {
+	if !w.rec {
+		return
+	}
+	cfg := typestate.Build(fl.Body, func(call *ast.CallExpr) typestate.CallKind {
+		return classifyCall(w.u, call)
+	})
+	w.e.solveAndReplay(w.u, w.fn, cfg, entry, true)
+}
+
+// lockEvent classifies a call as a sync.Mutex/sync.RWMutex operation
+// on a resolvable object chain. The key deliberately ignores the
+// read/write mode: for guard purposes RLock counts as held (a write
+// under RLock is a real race this analysis does not model; see
+// DESIGN.md).
+type lockEvent struct {
+	k      key
+	unlock bool
+}
+
+func (w *walker) lockEvent(call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var unlock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return lockEvent{}, false
+	}
+	tv, ok := w.u.Info.Types[sel.X]
+	if !ok {
+		return lockEvent{}, false
+	}
+	if _, isMutex := mutexType(tv.Type); !isMutex {
+		return lockEvent{}, false
+	}
+	root, path, ok := exprKey(w.u, sel.X)
+	if !ok {
+		return lockEvent{}, false
+	}
+	return lockEvent{k: key{root: root, path: path}, unlock: unlock}, true
+}
+
+// applyLockEvent updates the state for one lock operation. An unlock
+// of a never-acquired mutex is this function's release-at-entry
+// obligation — exported in the summary when caller-mappable.
+func (w *walker) applyLockEvent(ev lockEvent, deferred bool) {
+	if !ev.unlock {
+		w.s[ev.k] |= held
+		return
+	}
+	if f, isHeld := w.s[ev.k]; isHeld && f&held != 0 {
+		if deferred {
+			w.s[ev.k] = f | deferredRelease
+		} else {
+			delete(w.s, ev.k)
+		}
+		return
+	}
+	if w.collect {
+		if pt, ok := pointFor(w.fn, ev.k); ok {
+			w.e.curReleases[pt] = true
+		}
+	}
+}
+
+// atomicCall records the sync/atomic access to &x.f and evaluates the
+// remaining operands normally.
+func (w *walker) atomicCall(call *ast.CallExpr, fname string) {
+	write := !strings.HasPrefix(fname, "Load")
+	for i, arg := range call.Args {
+		if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND && i == 0 {
+			if w.access(un.X, accOpts{atomic: true, write: write, addr: true}) {
+				continue
+			}
+		}
+		w.expr(arg)
+	}
+}
+
+// applySummaries maps each target's lock summary through the call
+// operands into the caller's frame: releases first (delete held keys,
+// or propagate the obligation when the key was never held), then
+// acquires. Interface calls apply the union of all known
+// implementations — a documented over-approximation.
+func (w *walker) applySummaries(call *ast.CallExpr, targets []*types.Func) {
+	for _, tg := range targets {
+		sum := w.e.sums[tg]
+		if sum == nil {
+			continue
+		}
+		for pt := range sum.Releases {
+			k, ok := w.mapPoint(call, pt)
+			if !ok {
+				continue
+			}
+			if f, isHeld := w.s[k]; isHeld && f&held != 0 {
+				delete(w.s, k)
+			} else if w.collect {
+				if mp, ok := pointFor(w.fn, k); ok {
+					w.e.curReleases[mp] = true
+				}
+			}
+		}
+		for pt := range sum.Acquires {
+			k, ok := w.mapPoint(call, pt)
+			if !ok {
+				continue
+			}
+			w.s[k] |= held
+		}
+	}
+}
+
+// mapPoint translates a callee summary point into a caller state key
+// through a specific call: globals pass through; receiver and
+// parameter points resolve the corresponding operand's object chain
+// and append the point's path.
+func (w *walker) mapPoint(call *ast.CallExpr, pt Point) (key, bool) {
+	if pt.Idx == PointGlobal {
+		return key{root: pt.Obj, path: pt.Path}, true
+	}
+	var operand ast.Expr
+	if pt.Idx == -1 {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return key{}, false
+		}
+		operand = sel.X
+	} else {
+		if pt.Idx >= len(call.Args) {
+			return key{}, false
+		}
+		operand = call.Args[pt.Idx]
+	}
+	if un, ok := ast.Unparen(operand).(*ast.UnaryExpr); ok && un.Op == token.AND {
+		// &x as a lock-carrying operand is the same object as x.
+		operand = un.X
+	}
+	root, path, ok := exprKey(w.u, operand)
+	if !ok {
+		return key{}, false
+	}
+	return key{root: root, path: joinPath(path, pt.Path)}, true
+}
+
+// exprKey resolves an object chain to (root object, dotted field
+// path): s.mu → (s, "mu"); mu → (mu, ""); (*c).state.mu →
+// (c, "state.mu"). Chains through calls or index expressions are not
+// resolvable.
+func exprKey(u *flow.Unit, e ast.Expr) (types.Object, string, bool) {
+	var parts []string
+	cur := ast.Unparen(e)
+	for {
+		switch t := cur.(type) {
+		case *ast.Ident:
+			obj := u.Info.ObjectOf(t)
+			if obj == nil {
+				return nil, "", false
+			}
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return obj, strings.Join(parts, "."), true
+		case *ast.SelectorExpr:
+			parts = append(parts, t.Sel.Name)
+			cur = ast.Unparen(t.X)
+		case *ast.StarExpr:
+			cur = ast.Unparen(t.X)
+		default:
+			return nil, "", false
+		}
+	}
+}
+
+// access records e as a shared-field access when it is a resolvable
+// field chain, returning whether it was one (recorded or not) so
+// callers know not to descend further — a chain never contains calls.
+//
+// Filters, in order: the deepest consecutive field path from the root
+// is taken (reading s.a.b counts against a.b, not a); the root must
+// be a variable — and not a local bound to a freshly constructed
+// object, whose accesses are pre-publication by construction; fields
+// that synchronize themselves (sync.*, typed atomics, channels) are
+// skipped; the root's type must be a named struct so accesses unify
+// module-wide by (type, path).
+func (w *walker) access(e ast.Expr, o accOpts) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	root, path, ftype, ok := w.fieldChain(sel)
+	if !ok {
+		return false
+	}
+	if !w.rec {
+		return true
+	}
+	if w.e.fresh[root] || skipFieldType(ftype) {
+		return true
+	}
+	named := namedOf(root.Type())
+	if named == nil {
+		return true
+	}
+	full, short := typeDisplay(named)
+	gk := GroupKey{Type: full, Path: path}
+	grp := w.e.groups[gk]
+	if grp == nil {
+		grp = &Group{Key: gk, Display: short + "." + path, Ref: refType(ftype)}
+		w.e.groups[gk] = grp
+	}
+	a := &Access{
+		Unit: w.u, Fn: w.fn, Pos: sel.Pos(),
+		Write: o.write, Escape: o.escape, Addr: o.addr,
+		Held: w.heldFor(root),
+	}
+	if o.atomic {
+		grp.Atomics = append(grp.Atomics, a)
+	} else {
+		grp.Accesses = append(grp.Accesses, a)
+	}
+	return true
+}
+
+// fieldChain resolves the deepest consecutive field path of a selector
+// chain: root variable, dotted path, and the final field's type.
+// Trailing method selections are trimmed (m.breaker.Allow →
+// (m, "breaker")); a package qualifier shifts the root to the
+// package-level variable it names.
+func (w *walker) fieldChain(e ast.Expr) (*types.Var, string, types.Type, bool) {
+	var sels []*ast.SelectorExpr
+	cur := ast.Unparen(e)
+spine:
+	for {
+		switch t := cur.(type) {
+		case *ast.SelectorExpr:
+			sels = append(sels, t)
+			cur = ast.Unparen(t.X)
+		case *ast.StarExpr:
+			cur = ast.Unparen(t.X)
+		default:
+			break spine
+		}
+	}
+	id, ok := cur.(*ast.Ident)
+	if !ok || len(sels) == 0 {
+		return nil, "", nil, false
+	}
+	root := w.u.Info.ObjectOf(id)
+	for i, j := 0, len(sels)-1; i < j; i, j = i+1, j-1 {
+		sels[i], sels[j] = sels[j], sels[i]
+	}
+	if _, isPkg := root.(*types.PkgName); isPkg {
+		// pkg.Var.field...: the first selector names the variable.
+		root = w.u.Info.ObjectOf(sels[0].Sel)
+		sels = sels[1:]
+	}
+	v, ok := root.(*types.Var)
+	if !ok || len(sels) == 0 {
+		return nil, "", nil, false
+	}
+	var parts []string
+	var ftype types.Type
+	for _, sel := range sels {
+		fv, isVar := w.u.Info.ObjectOf(sel.Sel).(*types.Var)
+		if !isVar || !fv.IsField() {
+			break
+		}
+		parts = append(parts, fv.Name())
+		ftype = fv.Type()
+	}
+	if len(parts) == 0 {
+		return nil, "", nil, false
+	}
+	return v, strings.Join(parts, "."), ftype, true
+}
+
+// heldFor snapshots the lock field paths held (must) on the same root
+// object at this point — the Eraser-style same-object lockset.
+func (w *walker) heldFor(root types.Object) map[string]bool {
+	out := map[string]bool{}
+	for k, f := range w.s {
+		if k.root == root && f&held != 0 {
+			out[k.path] = true
+		}
+	}
+	return out
+}
+
+// freshLocals finds locals bound to freshly constructed objects —
+// composite literals, &composite, new(T) — anywhere in a declared
+// function body (literals included). Accesses rooted at such a local
+// are pre-publication writes in a constructor shape and are excluded
+// from guard inference; a fresh local later rebound to shared state
+// stays excluded, a documented unsound corner.
+func freshLocals(u *flow.Unit, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(name ast.Expr, value ast.Expr) {
+		id, ok := ast.Unparen(name).(*ast.Ident)
+		if !ok || !freshExpr(value) {
+			return
+		}
+		if obj := u.Info.ObjectOf(id); obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			if len(t.Lhs) == len(t.Rhs) {
+				for i := range t.Lhs {
+					mark(t.Lhs[i], t.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(t.Names) == len(t.Values) {
+				for i := range t.Names {
+					mark(t.Names[i], t.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// freshExpr reports whether e constructs a new object: T{...},
+// &T{...}, or new(T).
+func freshExpr(e ast.Expr) bool {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if t.Op == token.AND {
+			_, ok := ast.Unparen(t.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(t.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+// Package fixture is deliberately broken test input for the
+// atomic-plain-mix analyzer: a stats block whose counters are
+// maintained with sync/atomic — except for the paths that forget and
+// use plain loads/stores, voiding the atomics' guarantees.
+package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	resets int64
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) hitCount() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// resetHits mixes a plain store into an atomically maintained
+// counter: it races with every concurrent hit()/hitCount().
+func (s *stats) resetHits() {
+	s.hits = 0
+}
+
+func (s *stats) miss() {
+	atomic.AddInt64(&s.misses, 1)
+}
+
+// missCount is the clean shape: every access to misses is atomic.
+func (s *stats) missCount() int64 {
+	return atomic.LoadInt64(&s.misses)
+}
+
+func (s *stats) bumpResets() {
+	atomic.AddInt64(&s.resets, 1)
+}
+
+// resetsSnapshot reads the counter plainly, deliberately.
+func (s *stats) resetsSnapshot() int64 {
+	return s.resets // cdalint:ignore atomic-plain-mix -- snapshot taken after all workers have quiesced
+}

@@ -1,0 +1,70 @@
+// Package fixture is deliberately broken test input for the
+// guard-escape analyzer: a registry whose mutex-guarded map and slice
+// leak by reference — returned live to callers and handed to a
+// goroutine — so the receivers race with guarded mutation no matter
+// how carefully the registry itself locks.
+package fixture
+
+import "sync"
+
+type registry struct {
+	mu      sync.Mutex
+	entries map[string]int
+	order   []string
+}
+
+func (r *registry) add(k string, v int) {
+	r.mu.Lock()
+	r.entries[k] = v
+	r.order = append(r.order, k)
+	r.mu.Unlock()
+}
+
+func (r *registry) get(k string) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.entries[k]
+	return v, ok
+}
+
+func (r *registry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// all returns the live map: holding the lock here does not help — the
+// caller dereferences the reference after the critical section ends.
+func (r *registry) all() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries
+}
+
+func process(keys []string, done chan struct{}) {
+	close(done)
+}
+
+// kick hands the live slice to a goroutine from inside the critical
+// section: the goroutine reads it while add() keeps appending.
+func (r *registry) kick(done chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go process(r.order, done)
+}
+
+// snapshot is the clean pattern: copy under the lock, return the copy.
+func (r *registry) snapshot() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.entries))
+	for k, v := range r.entries {
+		out[k] = v
+	}
+	return out
+}
+
+// raw leaks the map without even locking, deliberately.
+func (r *registry) raw() map[string]int {
+	return r.entries // cdalint:ignore guard-escape -- bench-only accessor, documented as unsynchronized
+}

@@ -1,0 +1,62 @@
+// Package fixture is regression input for cdalint:ignore directive
+// scoping around function literals and select cases, checked against
+// a CFG-based rule (unlock-path). The contract under test: a
+// directive attached to a spawning statement (go/defer) covers the
+// statement header only — never the literal's body — so suppressions
+// inside a literal must sit on the offending lines themselves, and
+// end-of-line placement works inside select case arms.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// spawnLeaky: the directive on the go statement must NOT reach the
+// Lock inside the literal body — the finding below survives.
+func spawnLeaky(s *store, done chan struct{}) {
+	// cdalint:ignore unlock-path -- attached to the spawning statement; must not cover the body
+	go func() {
+		s.mu.Lock()
+		s.n++
+		close(done)
+	}()
+}
+
+// spawnSuppressed: the directive inside the literal, on the line
+// above the acquisition, suppresses it.
+func spawnSuppressed(s *store, done chan struct{}) {
+	go func() {
+		// cdalint:ignore unlock-path -- deliberately held; the collector releases at teardown
+		s.mu.Lock()
+		s.n++
+		close(done)
+	}()
+}
+
+// selectArms: end-of-line placement inside one case arm suppresses
+// that acquisition only; the default arm's identical leak is
+// reported.
+func selectArms(s *store, ch chan int) int {
+	select {
+	case v := <-ch:
+		s.mu.Lock() // cdalint:ignore unlock-path -- probe path measured with the lock held
+		s.n = v
+		return v
+	default:
+		s.mu.Lock()
+		return s.n
+	}
+}
+
+// deferClosure: same boundary for deferred literals — the directive
+// on the defer statement covers its header, not the body.
+func deferClosure(s *store) {
+	// cdalint:ignore unlock-path -- attached to the defer statement; must not cover the body
+	defer func() {
+		s.mu.Lock()
+		s.n = 0
+	}()
+}

@@ -1,0 +1,108 @@
+// Package fixture is deliberately broken test input for the
+// racy-access analyzer: a cluster-router member shape whose
+// mutex-guarded replication state (promotion flag, shard cursors,
+// last ship error) is dominantly accessed under the lock — and peeked
+// without it on a few paths, including inside a spawned goroutine
+// where the caller's lockset does not apply.
+package fixture
+
+import "sync"
+
+type member struct {
+	mu       sync.Mutex
+	promoted bool
+	cursors  map[int]int64
+	shipErr  error
+}
+
+// newMember writes fields on a freshly constructed object: these are
+// pre-publication accesses and must not count against the guard.
+func newMember() *member {
+	m := &member{cursors: map[int]int64{}}
+	m.promoted = false
+	m.shipErr = nil
+	return m
+}
+
+func (m *member) promote() {
+	m.mu.Lock()
+	m.promoted = true
+	m.mu.Unlock()
+}
+
+func (m *member) demote() {
+	m.mu.Lock()
+	m.promoted = false
+	m.mu.Unlock()
+}
+
+func (m *member) isPromoted() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.promoted
+}
+
+// metricsPeek reads the flag without the lock, deliberately.
+func (m *member) metricsPeek() bool {
+	return m.promoted // cdalint:ignore racy-access -- approximate metrics read; staleness is acceptable here
+}
+
+// lock/unlock helpers: guard inference must see through the
+// interprocedural summaries, not just literal mu.Lock() calls.
+func (m *member) lock()   { m.mu.Lock() }
+func (m *member) unlock() { m.mu.Unlock() }
+
+func (m *member) setCursor(shard int, seq int64) {
+	m.lock()
+	m.cursors[shard] = seq
+	m.unlock()
+}
+
+func (m *member) cursor(shard int) int64 {
+	m.lock()
+	defer m.unlock()
+	return m.cursors[shard]
+}
+
+func (m *member) resync(shard int, seq int64) {
+	m.lock()
+	if m.cursors[shard] < seq {
+		m.cursors[shard] = seq
+	}
+	m.unlock()
+}
+
+// lag skips the helpers entirely: a racy cursor read.
+func (m *member) lag(shard int) int64 {
+	return m.cursors[shard]
+}
+
+func (m *member) setErr(err error) {
+	m.mu.Lock()
+	m.shipErr = err
+	m.mu.Unlock()
+}
+
+func (m *member) clearErr() {
+	m.mu.Lock()
+	m.shipErr = nil
+	m.mu.Unlock()
+}
+
+func (m *member) lastErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shipErr
+}
+
+// shipAsync holds the lock at the spawn point, but the goroutine body
+// runs with an empty lockset: the write inside it is racy even though
+// the go statement sits inside the critical section.
+func (m *member) shipAsync(done chan struct{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	go func() {
+		m.shipErr = nil
+		close(done)
+	}()
+}

@@ -124,7 +124,10 @@ func (c *Catalog) ensureIndex() (*textindex.Index, *embed.DenseIndex) {
 		c.dense = dense
 		c.stale = false
 	}
-	return c.index, c.dense
+	// The indexes are rebuilt from scratch under the lock and never
+	// mutated after publication — a rebuild swaps in fresh objects, so
+	// the returned references are immutable snapshots.
+	return c.index, c.dense // cdalint:ignore guard-escape -- immutable-after-build snapshot; rebuilds replace, never mutate
 }
 
 // Freshness returns the dataset's freshness in [0,1] at the logical

@@ -183,23 +183,29 @@ func (g *Graph) reachableLocked(adj map[string][]string, from, to string) bool {
 // WhereFrom returns every transitive ancestor of the node (the data
 // and computations it came from), sorted by ID.
 func (g *Graph) WhereFrom(id string) ([]Node, error) {
-	return g.closure(id, func() map[string][]string { return g.derivedFrom })
+	return g.closure(id, false)
 }
 
 // WhereTo returns every transitive descendant (everything derived
 // from this node) — the paper's "where-to analysis" supporting
 // guidance.
 func (g *Graph) WhereTo(id string) ([]Node, error) {
-	return g.closure(id, func() map[string][]string { return g.derives })
+	return g.closure(id, true)
 }
 
-func (g *Graph) closure(id string, adjFn func() map[string][]string) ([]Node, error) {
+// closure walks the ancestor (forward=false) or descendant
+// (forward=true) relation. The adjacency map is selected inside the
+// critical section so the guarded reference never crosses it.
+func (g *Graph) closure(id string, forward bool) ([]Node, error) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if _, ok := g.nodes[id]; !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
 	}
-	adj := adjFn()
+	adj := g.derivedFrom
+	if forward {
+		adj = g.derives
+	}
 	seen := map[string]bool{id: true}
 	stack := []string{id}
 	var out []Node

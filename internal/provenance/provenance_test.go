@@ -215,3 +215,35 @@ func TestLayeredDAGProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestClosureConcurrentWithWrites is the regression test for the
+// guard-escape fix in closure(): the adjacency map must be selected
+// inside the critical section, never handed across it, so traversals
+// racing with writers stay race-detector clean.
+func TestClosureConcurrentWithWrites(t *testing.T) {
+	g, ids := buildChain(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			id := g.AddNode(Node{Kind: KindComputation, Label: "extra"})
+			if err := g.DerivedFrom(id, ids["src"]); err != nil {
+				t.Errorf("edge %s<-%s: %v", id, ids["src"], err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := g.WhereFrom(ids["ans"]); err != nil {
+			t.Fatalf("WhereFrom: %v", err)
+		}
+		if _, err := g.WhereTo(ids["src"]); err != nil {
+			t.Fatalf("WhereTo: %v", err)
+		}
+	}
+	<-done
+	from, err := g.WhereFrom(ids["ans"])
+	if err != nil || len(from) != 3 {
+		t.Fatalf("WhereFrom after writers = %d nodes, err %v; want the 3-node chain", len(from), err)
+	}
+}

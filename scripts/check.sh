@@ -10,8 +10,10 @@
 #                      the code; see README "Static analysis &
 #                      reliability invariants" for what each enforces.
 #                      The analysis itself — per-package rules, the
-#                      interprocedural dataflow rules, and the
-#                      CFG/typestate rules — runs under a 60-second
+#                      interprocedural dataflow rules, the
+#                      CFG/typestate rules, and the lockset race
+#                      rules (racy-access, atomic-plain-mix,
+#                      guard-escape) — runs under a 60-second
 #                      budget (compile time excluded): if whole-module
 #                      analysis ever exceeds it, the gate fails rather
 #                      than silently slowing every CI run.
@@ -41,9 +43,10 @@
 #  10. bench smoke   — one iteration of every BenchmarkParallel*,
 #                      BenchmarkResilience*, BenchmarkVectorized*,
 #                      BenchmarkCluster*, BenchmarkSessionStore*,
-#                      BenchmarkCdalint, and BenchmarkCdastate so a
-#                      broken benchmark fixture fails the gate, not
-#                      the next perf investigation
+#                      BenchmarkCdalint, BenchmarkCdastate, and
+#                      BenchmarkCdarace so a broken benchmark fixture
+#                      fails the gate, not the next perf
+#                      investigation
 #
 # Any non-zero exit fails the gate. See README "Static analysis &
 # reliability invariants" for what each cdalint rule enforces.
@@ -96,6 +99,6 @@ echo "==> session store benchmark smoke (1 iteration)"
 go test -run='^$' -bench='^BenchmarkSessionStore' -benchtime=1x ./internal/sessionstore
 
 echo "==> cdalint whole-module benchmark smoke (1 iteration)"
-go test -run='^$' -bench='^BenchmarkCda(lint|state)$' -benchtime=1x ./internal/analysis
+go test -run='^$' -bench='^BenchmarkCda(lint|state|race)$' -benchtime=1x ./internal/analysis
 
 echo "check.sh: all gates passed"
