@@ -7,12 +7,20 @@
 //	cdaserver [-addr :8080] [-seed 1] [-noise 0.05] [-csv a.csv,b.csv]
 //	          [-data-dir ./data] [-session-ttl 30m] [-shards 8]
 //	          [-snapshot-every 256] [-max-inflight 64] [-rate 0] [-burst 0]
-//	          [-node-name node]
+//	          [-node-name node] [-versioned]
 //
 // With -data-dir, sessions are durable: every committed turn is
 // WAL-logged before the response is acknowledged, and a restarted
 // server replays the directory to serve the same transcripts
 // byte-for-byte. Without it, sessions live in memory only.
+//
+// With -versioned (requires -data-dir), the node additionally keeps a
+// content-addressed version store under <data-dir>/vstore: the
+// analytical database and every session transcript get immutable
+// Merkle-tree versions, answers are stamped with the data root hash
+// they were computed against, GET /sessions/{id}/asof/{turn} serves
+// time-travel transcript reads, and replica catch-up below the
+// compaction horizon ships only missing chunks.
 //
 // Example session:
 //
@@ -42,6 +50,7 @@ import (
 	"github.com/reliable-cda/cda/internal/server"
 	"github.com/reliable-cda/cda/internal/sessionstore"
 	"github.com/reliable-cda/cda/internal/storage"
+	"github.com/reliable-cda/cda/internal/vstore"
 	"github.com/reliable-cda/cda/internal/workload"
 )
 
@@ -58,7 +67,11 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-shard admitted asks per second (0: unlimited)")
 	burst := flag.Float64("burst", 0, "token-bucket burst size (0: max(rate,1))")
 	nodeName := flag.String("node-name", "node", "node name reported by /healthz and stamped on stale replica reads")
+	versioned := flag.Bool("versioned", false, "keep content-addressed versions of data and transcripts under <data-dir>/vstore (requires -data-dir)")
 	flag.Parse()
+	if *versioned && *dataDir == "" {
+		log.Fatal("cdaserver: -versioned requires -data-dir")
+	}
 
 	var cfg core.Config
 	var cat *catalog.Catalog
@@ -100,6 +113,16 @@ func main() {
 		TTL:           *sessionTTL,
 		Clock:         clock,
 	}
+	var versions *vstore.Store
+	if *versioned {
+		vs, err := vstore.Open(vstore.Config{Dir: filepath.Join(*dataDir, "vstore")})
+		if err != nil {
+			log.Fatalf("cdaserver: open version store: %v", err)
+		}
+		versions = vs
+		storeCfg.Versions = vs
+		cfg.Versions = vs
+	}
 	var store *sessionstore.Store
 	if *dataDir == "" {
 		store = sessionstore.NewMemory(storeCfg)
@@ -110,8 +133,8 @@ func main() {
 			log.Fatalf("cdaserver: open session store: %v", err)
 		}
 		store = st
-		log.Printf("cdaserver: durable sessions in %s (%d shards, snapshot every %d)",
-			*dataDir, *shards, *snapshotEvery)
+		log.Printf("cdaserver: durable sessions in %s (%d shards, snapshot every %d, versioned=%t)",
+			*dataDir, *shards, *snapshotEvery, *versioned)
 	}
 	adm := admission.New(admission.Config{
 		Shards:      *shards,
@@ -121,7 +144,17 @@ func main() {
 		Clock:       clock,
 	})
 
-	srv := server.NewWithOptions(core.New(cfg), cat, now, server.Options{Store: store, Admission: adm, NodeName: *nodeName})
+	sys := core.New(cfg)
+	if versions != nil {
+		// Version zero of the analytical data: every answer from here on
+		// is stamped with the root hash it was computed against.
+		c, err := sys.CommitData(0)
+		if err != nil {
+			log.Fatalf("cdaserver: commit initial data version: %v", err)
+		}
+		log.Printf("cdaserver: data root %s (%d chunks)", c.Hash, versions.NumChunks())
+	}
+	srv := server.NewWithOptions(sys, cat, now, server.Options{Store: store, Admission: adm, NodeName: *nodeName})
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),
@@ -193,6 +226,11 @@ func main() {
 		// compaction error.
 		if err := store.Close(); err != nil {
 			log.Printf("cdaserver: close session store: %v", err)
+		}
+		if versions != nil {
+			if err := versions.Close(); err != nil {
+				log.Printf("cdaserver: close version store: %v", err)
+			}
 		}
 	}
 }

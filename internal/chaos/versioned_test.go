@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func runClusterVersioned(t *testing.T, sc ClusterVersionedScenario) *ClusterVersionedResult {
+	t.Helper()
+	sc.PrimaryDir, sc.ReplicaDir = t.TempDir(), t.TempDir()
+	res, err := ClusterKillRecoverVersioned(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("seed %d: %v", sc.Seed, err)
+	}
+	return res
+}
+
+// TestClusterKillRecoverVersioned is the versioned failover gate: a
+// replica partitioned past the compaction horizon catches up through
+// chunk negotiation (not inline snapshots), agrees with the primary
+// on the shard root's commit identity, and — promoted after the kill
+// — serves and finishes the dialogue.
+func TestClusterKillRecoverVersioned(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		res := runClusterVersioned(t, ClusterVersionedScenario{
+			Seed: seed, PartitionAfter: 2, PartitionTurns: 4,
+		})
+		if res.Committed != len(SwissTurns()) {
+			t.Errorf("seed %d: committed %d of %d turns", seed, res.Committed, len(SwissTurns()))
+		}
+		if res.ChunksNegotiated <= 0 {
+			t.Errorf("seed %d: heal moved %d chunks — the versioned path never fired",
+				seed, res.ChunksNegotiated)
+		}
+		if !res.ShardRootsMatch {
+			t.Errorf("seed %d: shard root heads diverged across nodes after the heal", seed)
+		}
+		if !strings.Contains(res.Transcript, "promoted=true") {
+			t.Errorf("seed %d: transcript does not record the promotion", seed)
+		}
+		if res.RootLog == "" {
+			t.Errorf("seed %d: promoted replica has no session version log", seed)
+		}
+	}
+}
+
+// TestClusterKillRecoverVersionedDeterministic: two runs of one seed
+// must render byte-identical transcripts AND byte-identical per-turn
+// root hashes — content addressing makes version identity a pure
+// function of the conversation.
+func TestClusterKillRecoverVersionedDeterministic(t *testing.T) {
+	for _, sc := range []ClusterVersionedScenario{
+		{Seed: 5, PartitionAfter: 2, PartitionTurns: 4},
+		{Seed: 31, PartitionAfter: 1, PartitionTurns: 5},
+	} {
+		a := runClusterVersioned(t, sc)
+		b := runClusterVersioned(t, sc)
+		if a.Transcript != b.Transcript {
+			t.Errorf("seed %d: versioned kill/recover not deterministic:\n--- run 1\n%s\n--- run 2\n%s",
+				sc.Seed, a.Transcript, b.Transcript)
+		}
+		if a.RootLog != b.RootLog {
+			t.Errorf("seed %d: per-turn root hashes differ across runs:\n--- run 1\n%s\n--- run 2\n%s",
+				sc.Seed, a.RootLog, b.RootLog)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/reliable-cda/cda/internal/server"
 	"github.com/reliable-cda/cda/internal/sessionstore"
+	"github.com/reliable-cda/cda/internal/vstore"
 )
 
 // HTTPNode is a NodeClient over a real cdaserver's base URL — the
@@ -81,6 +82,9 @@ func (n *HTTPNode) do(ctx context.Context, method, path string, body, out any) e
 	}
 	var apiErr struct {
 		Error string `json:"error"`
+		// MissingRoot rides on a 428 from /replication/apply: the
+		// versioned snapshot whose chunks must be negotiated first.
+		MissingRoot string `json:"missing_root"`
 	}
 	msg := resp.Status
 	if derr := json.NewDecoder(resp.Body).Decode(&apiErr); derr == nil && apiErr.Error != "" {
@@ -91,6 +95,13 @@ func (n *HTTPNode) do(ctx context.Context, method, path string, body, out any) e
 		return fmt.Errorf("%w: node %s: %s", ErrUnknownSession, n.name, msg)
 	case http.StatusConflict:
 		return fmt.Errorf("cluster: node %s conflict: %s", n.name, msg)
+	case http.StatusPreconditionRequired:
+		if apiErr.MissingRoot != "" {
+			// Typed so the router's errors.As negotiation path fires for
+			// HTTP nodes exactly as for in-process ones.
+			return &sessionstore.MissingChunksError{Root: vstore.Hash(apiErr.MissingRoot)}
+		}
+		return fmt.Errorf("cluster: node %s: %s", n.name, msg)
 	default:
 		return fmt.Errorf("cluster: node %s: %s", n.name, msg)
 	}
@@ -155,4 +166,30 @@ func (n *HTTPNode) Apply(ctx context.Context, batch sessionstore.ShipBatch) (int
 		return 0, err
 	}
 	return out.Cursor, nil
+}
+
+// WantChunks implements NodeClient.
+func (n *HTTPNode) WantChunks(ctx context.Context, root string, limit int) ([]string, error) {
+	var out struct {
+		Missing []string `json:"missing"`
+	}
+	err := n.do(ctx, http.MethodPost, "/chunks/want",
+		server.WantChunksRequest{Root: root, Limit: limit}, &out)
+	return out.Missing, err
+}
+
+// FetchChunks implements NodeClient.
+func (n *HTTPNode) FetchChunks(ctx context.Context, hashes []string) ([]vstore.Packet, error) {
+	var out struct {
+		Packets []vstore.Packet `json:"packets"`
+	}
+	err := n.do(ctx, http.MethodPost, "/chunks/fetch",
+		server.FetchChunksRequest{Hashes: hashes}, &out)
+	return out.Packets, err
+}
+
+// PutChunks implements NodeClient.
+func (n *HTTPNode) PutChunks(ctx context.Context, packets []vstore.Packet) error {
+	return n.do(ctx, http.MethodPost, "/chunks/put",
+		server.PutChunksRequest{Packets: packets}, nil)
 }

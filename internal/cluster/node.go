@@ -10,6 +10,7 @@ import (
 	"github.com/reliable-cda/cda/internal/dialogue"
 	"github.com/reliable-cda/cda/internal/server"
 	"github.com/reliable-cda/cda/internal/sessionstore"
+	"github.com/reliable-cda/cda/internal/vstore"
 )
 
 // ErrNodeDown marks a node-level failure: the process is gone,
@@ -46,7 +47,21 @@ type NodeClient interface {
 	Pull(ctx context.Context, shard int, after int64, max int) (sessionstore.ShipBatch, error)
 	// Apply installs a pulled batch, returning the shard's new cursor.
 	Apply(ctx context.Context, batch sessionstore.ShipBatch) (int64, error)
+	// WantChunks lists up to limit chunks missing from the node's
+	// version store under the given root — the replica-side half of
+	// catch-up negotiation.
+	WantChunks(ctx context.Context, root string, limit int) ([]string, error)
+	// FetchChunks serves chunk packets by hash from the node's version
+	// store — the primary-side half.
+	FetchChunks(ctx context.Context, hashes []string) ([]vstore.Packet, error)
+	// PutChunks stores shipped packets into the node's version store
+	// (each re-hashed on receipt).
+	PutChunks(ctx context.Context, packets []vstore.Packet) error
 }
+
+// ErrNoVersionStore marks chunk-negotiation calls against a node
+// whose store has no version store configured.
+var ErrNoVersionStore = errors.New("cluster: node has no version store")
 
 // LocalNode is an in-process node: a store plus the system that
 // answers its questions, with the failure switches the chaos harness
@@ -241,4 +256,58 @@ func (n *LocalNode) Apply(ctx context.Context, batch sessionstore.ShipBatch) (in
 		return n.store.ReplicationCursor(batch.Shard), n.noteCrash(err)
 	}
 	return n.store.ReplicationCursor(batch.Shard), nil
+}
+
+// versions returns the node's version store or ErrNoVersionStore.
+func (n *LocalNode) versions() (*vstore.Store, error) {
+	vs := n.store.Versions()
+	if vs == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoVersionStore, n.name)
+	}
+	return vs, nil
+}
+
+// WantChunks implements NodeClient.
+func (n *LocalNode) WantChunks(ctx context.Context, root string, limit int) ([]string, error) {
+	if err := n.reachable(ctx); err != nil {
+		return nil, err
+	}
+	vs, err := n.versions()
+	if err != nil {
+		return nil, err
+	}
+	missing := vs.WantList(vstore.Hash(root), limit)
+	out := make([]string, 0, len(missing))
+	for _, h := range missing {
+		out = append(out, string(h))
+	}
+	return out, nil
+}
+
+// FetchChunks implements NodeClient.
+func (n *LocalNode) FetchChunks(ctx context.Context, hashes []string) ([]vstore.Packet, error) {
+	if err := n.reachable(ctx); err != nil {
+		return nil, err
+	}
+	vs, err := n.versions()
+	if err != nil {
+		return nil, err
+	}
+	hs := make([]vstore.Hash, 0, len(hashes))
+	for _, h := range hashes {
+		hs = append(hs, vstore.Hash(h))
+	}
+	return vs.Packets(hs)
+}
+
+// PutChunks implements NodeClient.
+func (n *LocalNode) PutChunks(ctx context.Context, packets []vstore.Packet) error {
+	if err := n.reachable(ctx); err != nil {
+		return err
+	}
+	vs, err := n.versions()
+	if err != nil {
+		return err
+	}
+	return vs.AddPackets(packets)
 }

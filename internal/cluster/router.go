@@ -325,6 +325,16 @@ func (r *Router) shipShard(ctx context.Context, m *member, shard int) error {
 			return nil
 		}
 		cur, err := m.Replica.Apply(ctx, batch)
+		var missing *sessionstore.MissingChunksError
+		if errors.As(err, &missing) {
+			// The batch ships a versioned snapshot the replica cannot
+			// materialize yet: negotiate the missing chunks (replica asks,
+			// primary serves, only the delta moves) and re-apply.
+			if nerr := r.negotiateChunks(ctx, m, string(missing.Root)); nerr != nil {
+				return errors.Join(err, nerr)
+			}
+			cur, err = m.Replica.Apply(ctx, batch)
+		}
 		if err != nil {
 			if errors.Is(err, ErrNodeDown) || resynced {
 				return err
@@ -340,6 +350,41 @@ func (r *Router) shipShard(ctx context.Context, m *member, shard int) error {
 		m.mu.Unlock()
 		if cur >= batch.PrimaryCursor {
 			return nil
+		}
+	}
+}
+
+// chunkBatch bounds one negotiation round trip: the replica names up
+// to this many missing chunks, the primary serves them, repeat until
+// the want list drains.
+const chunkBatch = 64
+
+// negotiateChunks drives have/want chunk transfer for one snapshot
+// root: the member's replica lists what it is missing under the root,
+// the primary serves those packets, and the loop repeats until the
+// replica wants nothing — shipping only the delta, never the chunks
+// the replica already holds from earlier catch-ups. A round that
+// moves nothing while wants remain aborts (the primary GC'd the root
+// mid-transfer or the stores disagree) instead of spinning.
+func (r *Router) negotiateChunks(ctx context.Context, m *member, root string) error {
+	for {
+		want, err := m.Replica.WantChunks(ctx, root, chunkBatch)
+		if err != nil {
+			return fmt.Errorf("cluster: want list from %s: %w", m.Replica.Name(), err)
+		}
+		if len(want) == 0 {
+			return nil
+		}
+		packets, err := m.Primary.FetchChunks(ctx, want)
+		if err != nil {
+			return fmt.Errorf("cluster: fetch %d chunks from %s: %w", len(want), m.Primary.Name(), err)
+		}
+		if len(packets) == 0 {
+			return fmt.Errorf("cluster: primary %s served none of %d wanted chunks under root %s",
+				m.Primary.Name(), len(want), root)
+		}
+		if err := m.Replica.PutChunks(ctx, packets); err != nil {
+			return fmt.Errorf("cluster: store %d chunks on %s: %w", len(packets), m.Replica.Name(), err)
 		}
 	}
 }
@@ -412,6 +457,13 @@ func (r *Router) ShipStep(ctx context.Context, name string, shard, maxFrames int
 		return true, nil
 	}
 	cur, err := m.Replica.Apply(ctx, batch)
+	var missing *sessionstore.MissingChunksError
+	if errors.As(err, &missing) {
+		if nerr := r.negotiateChunks(ctx, m, string(missing.Root)); nerr != nil {
+			return false, errors.Join(err, nerr)
+		}
+		cur, err = m.Replica.Apply(ctx, batch)
+	}
 	if err != nil {
 		return false, err
 	}

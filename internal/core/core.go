@@ -42,6 +42,7 @@ import (
 	"github.com/reliable-cda/cda/internal/storage"
 	"github.com/reliable-cda/cda/internal/textindex"
 	"github.com/reliable-cda/cda/internal/uncertainty"
+	"github.com/reliable-cda/cda/internal/vstore"
 )
 
 // Config assembles a System.
@@ -85,6 +86,16 @@ type Config struct {
 	// resilience.VirtualClock so fault sweeps are instant and
 	// deterministic.
 	Clock resilience.Clock
+	// Versions, when set, gives the system a content-addressed
+	// version store (internal/vstore): CommitData publishes immutable
+	// snapshots of DB under DataRoot, and every answer is stamped with
+	// the data root hash it was computed against — the provenance
+	// chain then pins not just which tables, but which VERSION of
+	// them.
+	Versions *vstore.Store
+	// DataRoot names the version root CommitData publishes to
+	// (default DefaultDataRoot).
+	DataRoot string
 	// Resilience tunes retry and circuit-breaker behavior for the
 	// backend executor (zero value = library defaults).
 	Resilience resilience.Options
@@ -125,6 +136,11 @@ type Answer struct {
 	// confidence pointer with an explicit caveat beats refusing
 	// outright during an outage (P4 Soundness under partial failure).
 	Degraded string
+	// DataRoot is the hash of the data-version commit the answer was
+	// computed against (empty on unversioned deployments). Replaying
+	// the answer's query against vstore.DatabaseAsOf of this commit
+	// reproduces the result byte-for-byte.
+	DataRoot string
 }
 
 // System is the reliable CDA system.
@@ -404,6 +420,7 @@ func (s *System) finalize(ans *Answer, rng *rand.Rand) *Answer {
 	}
 	ans.Evidence.RawModel = s.modelScore(rng)
 	ans.Confidence = s.combiner.Combine(ans.Evidence)
+	s.stampDataRoot(ans)
 	if ans.Provenance != nil && ans.AnswerNode != "" {
 		if ex, err := explain.FromProvenance(ans.Provenance, ans.AnswerNode); err == nil {
 			if ans.Explanation.Summary == "" {

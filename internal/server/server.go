@@ -19,8 +19,13 @@
 //	POST /sessions                           create a conversation; returns {"id": ...}
 //	POST /sessions/{id}/ask                  {"question": "..."} → annotated answer
 //	GET  /sessions/{id}?offset=&limit=       paginated session transcript
+//	GET  /sessions/{id}/asof/{turn}          time-travel transcript read (versioned stores)
+//	GET  /versions/{root...}                 a version root's commit log
 //	GET  /replication/{shard}?after=&max=    pull committed WAL frames (cluster shipping)
 //	POST /replication/apply                  apply a pulled batch on a replica
+//	POST /chunks/want                        chunk negotiation: list missing chunks under a root
+//	POST /chunks/fetch                       chunk negotiation: serve chunk packets by hash
+//	POST /chunks/put                         chunk negotiation: store shipped packets
 //
 // Session lookups distinguish 404 (never existed) from 410 (evicted
 // after sitting idle past the TTL). A node serving replicated state
@@ -45,6 +50,7 @@ import (
 	"github.com/reliable-cda/cda/internal/core"
 	"github.com/reliable-cda/cda/internal/dialogue"
 	"github.com/reliable-cda/cda/internal/sessionstore"
+	"github.com/reliable-cda/cda/internal/vstore"
 )
 
 // Transcript pagination bounds: the default page keeps huge
@@ -111,8 +117,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions", s.handleCreateSession)
 	mux.HandleFunc("POST /sessions/{id}/ask", s.handleAsk)
 	mux.HandleFunc("GET /sessions/{id}", s.handleTranscript)
+	mux.HandleFunc("GET /sessions/{id}/asof/{turn}", s.handleTranscriptAsOf)
+	mux.HandleFunc("GET /versions/{root...}", s.handleVersions)
 	mux.HandleFunc("GET /replication/{shard}", s.handlePullFrames)
 	mux.HandleFunc("POST /replication/apply", s.handleApplyBatch)
+	mux.HandleFunc("POST /chunks/want", s.handleChunksWant)
+	mux.HandleFunc("POST /chunks/fetch", s.handleChunksFetch)
+	mux.HandleFunc("POST /chunks/put", s.handleChunksPut)
 	return mux
 }
 
@@ -223,6 +234,22 @@ func (s *Server) handleApplyBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.store.ApplyBatch(batch); err != nil {
+		var missing *sessionstore.MissingChunksError
+		if errors.As(err, &missing) {
+			// The versioned snapshot's chunk closure is incomplete here:
+			// 428 tells the shipper to negotiate chunks (POST /chunks/*)
+			// and retry the same batch.
+			writeJSON(w, http.StatusPreconditionRequired, map[string]string{
+				"error":        err.Error(),
+				"missing_root": string(missing.Root),
+			})
+			return
+		}
+		if errors.Is(err, sessionstore.ErrNoVersions) {
+			writeError(w, http.StatusPreconditionFailed,
+				"batch carries a snapshot root but this node has no version store; re-pull with inline snapshots")
+			return
+		}
 		if errors.Is(err, sessionstore.ErrReplicaGap) {
 			// The shipper must re-pull from our actual cursor; 409 carries
 			// it in the body.
@@ -364,6 +391,9 @@ type AskResponse struct {
 	// the verified pipeline was unavailable (empty otherwise), so UIs
 	// can render the outage caveat alongside the lowered confidence.
 	Degraded string `json:"degraded,omitempty"`
+	// DataRoot is the content hash of the data version the answer was
+	// computed against (versioned deployments only).
+	DataRoot string `json:"data_root,omitempty"`
 }
 
 // AskResponseFrom renders a core answer as the wire payload — shared
@@ -379,6 +409,7 @@ func AskResponseFrom(ans *core.Answer) AskResponse {
 		Suggestions:   ans.Suggestions,
 		Sources:       ans.Explanation.Sources,
 		Degraded:      ans.Degraded,
+		DataRoot:      ans.DataRoot,
 	}
 	if ans.Provenance != nil && ans.AnswerNode != "" {
 		resp.Provenance = ans.Provenance.Summary(ans.AnswerNode)
@@ -538,4 +569,185 @@ func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, page)
+}
+
+// VersionInfo is one commit in a /versions/{root} listing.
+type VersionInfo struct {
+	Hash   string `json:"hash"`
+	Tree   string `json:"tree"`
+	Parent string `json:"parent,omitempty"`
+	Turn   int    `json:"turn"`
+	Stamp  int64  `json:"stamp"`
+}
+
+// versions returns the node's version store, or nil on an unversioned
+// deployment.
+func (s *Server) versions() *vstore.Store {
+	return s.store.Versions()
+}
+
+// handleVersions serves a version root's commit log (GET
+// /versions/{root...} — root names contain slashes, e.g.
+// "session/s0001" or "data").
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	vs := s.versions()
+	if vs == nil {
+		writeError(w, http.StatusNotFound, "this node has no version store")
+		return
+	}
+	root := r.PathValue("root")
+	log, err := vs.Log(root)
+	if err != nil {
+		if errors.Is(err, vstore.ErrUnknownRoot) {
+			writeError(w, http.StatusNotFound, "unknown version root")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "version log read failed")
+		return
+	}
+	out := make([]VersionInfo, 0, len(log))
+	for _, c := range log {
+		out = append(out, VersionInfo{Hash: string(c.Hash), Tree: string(c.Tree),
+			Parent: string(c.Parent), Turn: c.Turn, Stamp: c.Stamp})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"root": root, "commits": out})
+}
+
+// AsOfResponse is the time-travel transcript payload: the transcript
+// as the store saw it at the requested turn, plus the commit that
+// pins that version.
+type AsOfResponse struct {
+	Turns  []TranscriptTurn `json:"turns"`
+	Total  int              `json:"total"`
+	Commit VersionInfo      `json:"commit"`
+}
+
+// handleTranscriptAsOf serves GET /sessions/{id}/asof/{turn}: the
+// session transcript materialized from the version at or before the
+// requested turn — an immutable read that never touches the live
+// session entry.
+func (s *Server) handleTranscriptAsOf(w http.ResponseWriter, r *http.Request) {
+	if s.versions() == nil {
+		writeError(w, http.StatusNotFound, "this node has no version store")
+		return
+	}
+	turn, err := strconv.Atoi(r.PathValue("turn"))
+	if err != nil || turn < 0 {
+		writeError(w, http.StatusBadRequest, "turn must be a non-negative integer")
+		return
+	}
+	id := r.PathValue("id")
+	sess, c, err := s.store.TranscriptAsOf(id, turn)
+	if err != nil {
+		if errors.Is(err, vstore.ErrUnknownRoot) {
+			writeError(w, http.StatusNotFound, "no versions recorded for this session")
+			return
+		}
+		writeError(w, http.StatusNotFound, "no version at or before that turn")
+		return
+	}
+	resp := AsOfResponse{Total: len(sess.Turns), Turns: []TranscriptTurn{},
+		Commit: VersionInfo{Hash: string(c.Hash), Tree: string(c.Tree),
+			Parent: string(c.Parent), Turn: c.Turn, Stamp: c.Stamp}}
+	for _, t := range sess.Turns {
+		tt := TranscriptTurn{Role: t.Role.String(), Text: t.Text, Confidence: t.Confidence}
+		if t.Role == dialogue.RoleUser {
+			tt.Intent = t.Intent.String()
+		}
+		resp.Turns = append(resp.Turns, tt)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// WantChunksRequest asks which chunks of a root's closure are missing
+// locally (POST /chunks/want) — the replica-side half of catch-up
+// negotiation.
+type WantChunksRequest struct {
+	Root  string `json:"root"`
+	Limit int    `json:"limit"`
+}
+
+// FetchChunksRequest asks for chunk packets by hash (POST
+// /chunks/fetch) — served by the node that has them.
+type FetchChunksRequest struct {
+	Hashes []string `json:"hashes"`
+}
+
+// PutChunksRequest ships chunk packets (POST /chunks/put); each
+// packet is re-hashed on receipt, so a corrupted packet is rejected
+// rather than stored under a wrong address.
+type PutChunksRequest struct {
+	Packets []vstore.Packet `json:"packets"`
+}
+
+func (s *Server) handleChunksWant(w http.ResponseWriter, r *http.Request) {
+	vs := s.versions()
+	if vs == nil {
+		writeError(w, http.StatusNotFound, "this node has no version store")
+		return
+	}
+	var req WantChunksRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.Root == "" {
+		writeError(w, http.StatusBadRequest, "root must not be empty")
+		return
+	}
+	missing := vs.WantList(vstore.Hash(req.Root), req.Limit)
+	out := make([]string, 0, len(missing))
+	for _, h := range missing {
+		out = append(out, string(h))
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"missing": out})
+}
+
+func (s *Server) handleChunksFetch(w http.ResponseWriter, r *http.Request) {
+	vs := s.versions()
+	if vs == nil {
+		writeError(w, http.StatusNotFound, "this node has no version store")
+		return
+	}
+	var req FetchChunksRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	hashes := make([]vstore.Hash, 0, len(req.Hashes))
+	for _, h := range req.Hashes {
+		hashes = append(hashes, vstore.Hash(h))
+	}
+	packets, err := vs.Packets(hashes)
+	if err != nil {
+		// Asking for a chunk this node lacks is the requester's staleness,
+		// not a server fault.
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]vstore.Packet{"packets": packets})
+}
+
+func (s *Server) handleChunksPut(w http.ResponseWriter, r *http.Request) {
+	vs := s.versions()
+	if vs == nil {
+		writeError(w, http.StatusNotFound, "this node has no version store")
+		return
+	}
+	var req PutChunksRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if err := vs.AddPackets(req.Packets); err != nil {
+		if errors.Is(err, vstore.ErrBadPacket) {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		reqID := fmt.Sprintf("req-%06d", reqCounter.Add(1))
+		log.Printf("server: storing shipped chunks failed [%s]: %v", reqID, err)
+		writeError(w, http.StatusInternalServerError, "internal error (reference "+reqID+")")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"added": len(req.Packets)})
 }

@@ -24,7 +24,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
+
+	"github.com/reliable-cda/cda/internal/vstore"
 )
 
 // Frame is one committed WAL record as shipped to a replica: the raw
@@ -35,22 +38,35 @@ type Frame struct {
 	Data []byte `json:"data"`
 }
 
-// ShipBatch is one replication transfer for one shard. Either
-// Snapshot is set — a full shard snapshot at SnapshotSeq, shipped
-// when the requested cursor predates the primary's compaction horizon
-// — or Frames carries the records after the requested cursor, in
-// order. PrimaryCursor is the primary's cursor at pull time so the
-// replica can report its lag without a second round trip.
+// ShipBatch is one replication transfer for one shard. One of three
+// shapes, by how far behind the requested cursor is:
+//
+//   - Frames only: the records after the cursor, in order (the common
+//     case — the replica is within the primary's retained tail).
+//   - SnapshotRoot + Frames: the cursor predates the compaction
+//     horizon and both ends are versioned. SnapshotRoot is the vstore
+//     commit hash of the shard snapshot at SnapshotSeq; the replica
+//     materializes it from chunks it negotiates separately (have/want
+//     over chunk hashes — only missing chunks cross the wire), then
+//     replays the frames on top.
+//   - Snapshot (JSON) at SnapshotSeq: the unversioned fallback — the
+//     whole shard state, shipped inline.
+//
+// PrimaryCursor is the primary's cursor at pull time so the replica
+// can report its lag without a second round trip.
 type ShipBatch struct {
 	Shard         int     `json:"shard"`
 	Snapshot      []byte  `json:"snapshot,omitempty"`
+	SnapshotRoot  string  `json:"snapshot_root,omitempty"`
 	SnapshotSeq   int64   `json:"snapshot_seq,omitempty"`
 	Frames        []Frame `json:"frames,omitempty"`
 	PrimaryCursor int64   `json:"primary_cursor"`
 }
 
 // Empty reports whether the batch carries no state to apply.
-func (b ShipBatch) Empty() bool { return b.Snapshot == nil && len(b.Frames) == 0 }
+func (b ShipBatch) Empty() bool {
+	return b.Snapshot == nil && b.SnapshotRoot == "" && len(b.Frames) == 0
+}
 
 // ErrReplicaGap is returned by ApplyBatch when the batch's first
 // frame does not extend the replica's cursor contiguously: records
@@ -105,6 +121,25 @@ func (s *Store) PullFrames(shard int, after int64, max int) (ShipBatch, error) {
 		return ShipBatch{}, fmt.Errorf("sessionstore: replica cursor %d ahead of shard %d cursor %d", after, shard, cur)
 	}
 	if after < sh.shipBase {
+		if sh.versions != nil {
+			// Versioned transfer: ship the root hash of the snapshot
+			// committed at the last compaction plus the frames since.
+			// The replica fetches only the chunks it is missing.
+			if head, err := sh.versions.Head(ShardRoot(shard)); err == nil && head.Turn == int(sh.shipBase) {
+				b.SnapshotRoot = string(head.Hash)
+				b.SnapshotSeq = sh.shipBase
+				end := len(sh.tail)
+				if max > 0 && max < end {
+					end = max
+				}
+				for i := 0; i < end; i++ {
+					b.Frames = append(b.Frames, Frame{Seq: sh.shipBase + int64(i) + 1, Data: sh.tail[i]})
+				}
+				return b, nil
+			}
+			// No matching shard root (version commit failed at the last
+			// compaction): fall through to the inline snapshot.
+		}
 		data, err := json.Marshal(sh.buildSnapshot())
 		if err != nil {
 			return ShipBatch{}, fmt.Errorf("sessionstore: encode replication snapshot: %w", err)
@@ -137,13 +172,39 @@ func (s *Store) ApplyBatch(b ShipBatch) error {
 		return fmt.Errorf("sessionstore: apply to unknown shard %d (have %d)", b.Shard, len(s.shards))
 	}
 	sh := s.shards[b.Shard]
+	// A versioned snapshot materializes from the local chunk store
+	// before the shard lock is taken (vstore has its own locking); a
+	// *MissingChunksError here tells the driver to negotiate chunks
+	// and retry the apply.
+	var (
+		versionedSnap *snapshot
+		adoptRoot     vstore.Hash
+	)
+	if b.Snapshot == nil && b.SnapshotRoot != "" {
+		adoptRoot = vstore.Hash(b.SnapshotRoot)
+		snap, err := s.materializeShardSnapshot(adoptRoot)
+		if err != nil {
+			return err
+		}
+		snap.ShipSeq = b.SnapshotSeq
+		versionedSnap = &snap
+	}
 	sh.mu.Lock()
 	if b.Snapshot != nil {
 		if err := sh.installSnapshot(b, s.clock.Now()); err != nil {
 			sh.mu.Unlock()
 			return err
 		}
+		sh.versionAfterInstall(b.Shard, "")
 	}
+	if versionedSnap != nil {
+		if err := sh.installSnapshotDoc(*versionedSnap, b.SnapshotSeq, s.clock.Now()); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		sh.versionAfterInstall(b.Shard, adoptRoot)
+	}
+	touched := map[string]bool{}
 	for _, fr := range b.Frames {
 		cur := sh.cursor()
 		if fr.Seq <= cur {
@@ -165,8 +226,23 @@ func (s *Store) ApplyBatch(b ShipBatch) error {
 			}
 		}
 		sh.replay(recs[0], s.clock.Now())
+		if recs[0].Kind == "turn" {
+			touched[recs[0].ID] = true
+		}
 		sh.tail = append(sh.tail, fr.Data)
 		sh.pending++
+	}
+	if sh.versions != nil && len(touched) > 0 {
+		ids := make([]string, 0, len(touched))
+		for id := range touched {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if e, ok := sh.sessions[id]; ok {
+				sh.commitSessionVersion(sh.versions, e)
+			}
+		}
 	}
 	if b.PrimaryCursor > sh.remoteSeq {
 		sh.remoteSeq = b.PrimaryCursor
@@ -185,15 +261,22 @@ func (s *Store) ApplyBatch(b ShipBatch) error {
 	return nil
 }
 
-// installSnapshot replaces the shard's state with a shipped snapshot
-// and persists it (snapshot file published, WAL truncated) so the
-// replica's disk recovers to the same cursor. Caller holds sh.mu.
+// installSnapshot replaces the shard's state with a shipped inline
+// JSON snapshot. Caller holds sh.mu.
 func (sh *shard) installSnapshot(b ShipBatch, now time.Duration) error {
 	var snap snapshot
 	if err := json.Unmarshal(b.Snapshot, &snap); err != nil {
 		return fmt.Errorf("sessionstore: decode replication snapshot for shard %d: %w", b.Shard, err)
 	}
-	snap.ShipSeq = b.SnapshotSeq
+	return sh.installSnapshotDoc(snap, b.SnapshotSeq, now)
+}
+
+// installSnapshotDoc replaces the shard's state with a snapshot
+// document at ship sequence seq and persists it (snapshot file
+// published, WAL truncated) so the replica's disk recovers to the
+// same cursor. Caller holds sh.mu.
+func (sh *shard) installSnapshotDoc(snap snapshot, seq int64, now time.Duration) error {
+	snap.ShipSeq = seq
 	if sh.wal != nil {
 		if err := writeSnapshot(sh.snapPath, snap, sh.nosync); err != nil {
 			return err
@@ -206,9 +289,36 @@ func (sh *shard) installSnapshot(b ShipBatch, now time.Duration) error {
 	sh.tombstones = map[string]bool{}
 	sh.maxNum = 0
 	sh.applySnapshot(snap, now)
-	sh.shipBase = b.SnapshotSeq
+	sh.shipBase = seq
 	sh.tail = nil
 	sh.pending = 0
 	sh.compactErr = nil
 	return nil
+}
+
+// versionAfterInstall re-establishes version roots after a snapshot
+// install: every installed session gets its transcript root committed
+// locally, and the shard root adopts the shipped commit (preserving
+// its cross-store identity) or commits a locally encoded tree when
+// the batch was unversioned. Caller holds sh.mu.
+func (sh *shard) versionAfterInstall(shard int, adopt vstore.Hash) {
+	vs := sh.versions
+	if vs == nil {
+		return
+	}
+	ids := make([]string, 0, len(sh.sessions))
+	for id := range sh.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sh.commitSessionVersion(vs, sh.sessions[id])
+	}
+	if adopt != "" {
+		if _, err := vs.AdoptCommit(ShardRoot(shard), adopt); err != nil {
+			sh.versionErr = fmt.Errorf("sessionstore: adopt shard %d root: %w", shard, err)
+		}
+		return
+	}
+	sh.commitShardVersion(vs, shard, sh.buildSnapshot())
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // snapshot is one shard's compacted state: everything the WAL had
@@ -65,6 +66,30 @@ func writeSnapshot(path string, snap snapshot, nosync bool) error {
 	// pass nosync=false, so the durable-write protocol holds.
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("sessionstore: publish snapshot %s: %w", path, err)
+	}
+	if nosync {
+		return nil
+	}
+	// The rename's directory entry must itself be durable, or a crash
+	// right after compaction truncates the WAL against a snapshot the
+	// filesystem never committed.
+	return syncSnapshotDir(filepath.Dir(path))
+}
+
+// syncSnapshotDir fsyncs the snapshot's directory so the rename
+// survives a crash on filesystems that do not order directory updates
+// with data writes.
+func syncSnapshotDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sessionstore: open dir %s: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil {
+		cerr := d.Close()
+		return errors.Join(fmt.Errorf("sessionstore: fsync dir %s: %w", dir, err), cerr)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("sessionstore: close dir %s: %w", dir, err)
 	}
 	return nil
 }

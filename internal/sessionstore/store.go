@@ -40,6 +40,7 @@ import (
 
 	"github.com/reliable-cda/cda/internal/dialogue"
 	"github.com/reliable-cda/cda/internal/resilience"
+	"github.com/reliable-cda/cda/internal/vstore"
 )
 
 // GetStatus classifies a session lookup.
@@ -80,6 +81,11 @@ type Config struct {
 	// only; a production store must keep fsync on for its durability
 	// guarantee to mean anything.
 	NoFsync bool
+	// Versions, when non-nil, maintains content-addressed version
+	// roots for transcripts (per committed turn) and shard snapshots
+	// (per compaction) — see versioned.go. Version maintenance never
+	// fails user traffic; its errors surface via VersionError/Close.
+	Versions *vstore.Store
 }
 
 func (cfg Config) withDefaults() Config {
@@ -117,6 +123,11 @@ type Store struct {
 // WAL, and snapshot file. All fields below mu are guarded by it.
 type shard struct {
 	snapPath string
+	// idx is this shard's index; versions is the shared vstore (nil
+	// when versioning is off). Both are set once at Open, before any
+	// concurrent use.
+	idx      int
+	versions *vstore.Store
 
 	mu         sync.Mutex
 	sessions   map[string]*Entry
@@ -139,6 +150,9 @@ type shard struct {
 	// it does — so the error is retried on later commits and surfaced
 	// at Close.
 	compactErr error
+	// versionErr holds the most recent version-maintenance failure
+	// (see versioned.go); same policy as compactErr.
+	versionErr error
 }
 
 // Entry is one live session. The turn lock (Do) serializes turns
@@ -193,6 +207,8 @@ func Open(cfg Config) (*Store, error) {
 	}
 	for i := range st.shards {
 		sh := &shard{
+			idx:        i,
+			versions:   cfg.Versions,
 			sessions:   map[string]*Entry{},
 			tombstones: map[string]bool{},
 			snapEvery:  cfg.SnapshotEvery,
@@ -463,6 +479,7 @@ func (s *Store) CommitTurn(e *Entry) error {
 	e.committed = append(e.committed, pair...)
 	e.focus = e.sess.Focus
 	e.lastActive = s.clock.Now()
+	sh.commitSessionVersion(sh.versions, e)
 	sh.compactIfDue()
 	return nil
 }
@@ -587,6 +604,7 @@ func (sh *shard) compact() error {
 	sh.tail = nil
 	sh.pending = 0
 	sh.compactErr = nil
+	sh.commitShardVersion(sh.versions, sh.idx, snap)
 	return nil
 }
 
@@ -624,6 +642,10 @@ func (s *Store) Close() error {
 		if sh.compactErr != nil {
 			errs = append(errs, sh.compactErr)
 			sh.compactErr = nil
+		}
+		if sh.versionErr != nil {
+			errs = append(errs, sh.versionErr)
+			sh.versionErr = nil
 		}
 		sh.mu.Unlock()
 	}

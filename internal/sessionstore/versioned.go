@@ -1,0 +1,314 @@
+package sessionstore
+
+// Content-addressed versioning of session state (internal/vstore).
+// When Config.Versions is set, the store maintains two families of
+// vstore roots:
+//
+//	session/<id>  committed per turn pair: the transcript's Merkle
+//	              tree at each committed turn count, so
+//	              TranscriptAsOf(id, turn) materializes exactly what
+//	              the session held at turn N;
+//	shard/<NN>    committed at every snapshot compaction: the whole
+//	              shard's durable state at the ship horizon, the unit
+//	              replicas catch up on via chunk negotiation.
+//
+// Transcripts chunk into groups of turnsPerChunk turns, so appending
+// a turn pair rewrites only the tail chunk plus the session node —
+// every earlier full chunk is shared byte-for-byte with the previous
+// version. A shard tree references its session nodes, so a compaction
+// after light traffic shares every untouched session with the
+// previous compaction's tree, and a replica that installed that one
+// only fetches the delta.
+//
+// Version maintenance is an annotation on the durability path, never
+// a gate on it: vstore failures are recorded (surfaced by
+// VersionError and at Close) and user traffic continues. The known
+// corner: a crash between a WAL append and its root commit leaves the
+// session root one turn behind until the next commit folds the
+// missing pair into its tree (the tree covers the full committed
+// transcript, so nothing is lost — only the per-turn log entry).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/reliable-cda/cda/internal/dialogue"
+	"github.com/reliable-cda/cda/internal/vstore"
+)
+
+// turnsPerChunk is the transcript chunking unit.
+const turnsPerChunk = 32
+
+// SessionRoot names the vstore root tracking a session's transcript.
+func SessionRoot(id string) string { return "session/" + id }
+
+// ShardRoot names the vstore root tracking a shard's snapshots.
+func ShardRoot(shard int) string { return fmt.Sprintf("shard/%02d", shard) }
+
+// Versions returns the configured version store (nil when versioning
+// is off) — the seam the server and cluster layers use to serve and
+// negotiate chunks.
+func (s *Store) Versions() *vstore.Store { return s.cfg.Versions }
+
+// ErrNoVersions is returned by version-dependent calls when the store
+// was opened without a Config.Versions.
+var ErrNoVersions = errors.New("sessionstore: version store not configured")
+
+// MissingChunksError reports that a versioned snapshot could not be
+// materialized because parts of its closure are absent locally; the
+// replication driver negotiates the missing chunks and retries.
+type MissingChunksError struct {
+	Root vstore.Hash
+}
+
+func (e *MissingChunksError) Error() string {
+	return fmt.Sprintf("sessionstore: missing chunks under snapshot root %s", e.Root)
+}
+
+// sessData is the data field of a "sess" chunk; refs are the turn
+// chunks in transcript order.
+type sessData struct {
+	ID    string `json:"id"`
+	Num   int    `json:"num"`
+	Focus string `json:"focus,omitempty"`
+	Turns int    `json:"turns"`
+	Per   int    `json:"per"`
+}
+
+// shardData is the data field of a "shard" chunk; refs are the
+// session chunks aligned with IDs (sorted).
+type shardData struct {
+	MaxNum     int      `json:"maxNum"`
+	ShipSeq    int64    `json:"shipSeq"`
+	IDs        []string `json:"ids"`
+	Tombstones []string `json:"tombstones,omitempty"`
+}
+
+// encodeSessionTree stores a transcript as a Merkle tree and returns
+// the session node's address.
+func encodeSessionTree(vs *vstore.Store, ss sessionSnap) (vstore.Hash, error) {
+	release := vs.Pin()
+	defer release()
+	var refs []vstore.Hash
+	for lo := 0; lo < len(ss.Turns); lo += turnsPerChunk {
+		hi := lo + turnsPerChunk
+		if hi > len(ss.Turns) {
+			hi = len(ss.Turns)
+		}
+		data, err := json.Marshal(ss.Turns[lo:hi])
+		if err != nil {
+			return "", fmt.Errorf("sessionstore: encode turn chunk: %w", err)
+		}
+		h, err := vs.Put("turns", nil, data)
+		if err != nil {
+			return "", err
+		}
+		refs = append(refs, h)
+	}
+	meta := sessData{ID: ss.ID, Num: ss.Num, Focus: ss.Focus, Turns: len(ss.Turns), Per: turnsPerChunk}
+	data, err := json.Marshal(meta)
+	if err != nil {
+		return "", fmt.Errorf("sessionstore: encode session node: %w", err)
+	}
+	return vs.Put("sess", refs, data)
+}
+
+// decodeSessionTree rebuilds a transcript from a session node.
+func decodeSessionTree(vs *vstore.Store, h vstore.Hash) (sessionSnap, error) {
+	var meta sessData
+	kind, err := vs.Data(h, &meta)
+	if err != nil {
+		return sessionSnap{}, err
+	}
+	if kind != "sess" {
+		return sessionSnap{}, fmt.Errorf("sessionstore: chunk %s is %q, want sess", h, kind)
+	}
+	refs, err := vs.Refs(h)
+	if err != nil {
+		return sessionSnap{}, err
+	}
+	ss := sessionSnap{ID: meta.ID, Num: meta.Num, Focus: meta.Focus}
+	for _, ref := range refs {
+		var turns []turnRec
+		kind, err := vs.Data(ref, &turns)
+		if err != nil {
+			return sessionSnap{}, err
+		}
+		if kind != "turns" {
+			return sessionSnap{}, fmt.Errorf("sessionstore: chunk %s is %q, want turns", ref, kind)
+		}
+		ss.Turns = append(ss.Turns, turns...)
+	}
+	if len(ss.Turns) != meta.Turns {
+		return sessionSnap{}, fmt.Errorf("sessionstore: session tree %s has %d turns, node says %d", h, len(ss.Turns), meta.Turns)
+	}
+	return ss, nil
+}
+
+// encodeShardTree stores a shard snapshot as a Merkle tree and
+// returns the shard node's address.
+func encodeShardTree(vs *vstore.Store, snap snapshot) (vstore.Hash, error) {
+	release := vs.Pin()
+	defer release()
+	meta := shardData{MaxNum: snap.MaxNum, ShipSeq: snap.ShipSeq, Tombstones: snap.Tombstones}
+	refs := make([]vstore.Hash, 0, len(snap.Sessions))
+	for _, ss := range snap.Sessions {
+		h, err := encodeSessionTree(vs, ss)
+		if err != nil {
+			return "", err
+		}
+		refs = append(refs, h)
+		meta.IDs = append(meta.IDs, ss.ID)
+	}
+	data, err := json.Marshal(meta)
+	if err != nil {
+		return "", fmt.Errorf("sessionstore: encode shard node: %w", err)
+	}
+	return vs.Put("shard", refs, data)
+}
+
+// decodeShardTree rebuilds a shard snapshot from a shard node.
+func decodeShardTree(vs *vstore.Store, h vstore.Hash) (snapshot, error) {
+	var meta shardData
+	kind, err := vs.Data(h, &meta)
+	if err != nil {
+		return snapshot{}, err
+	}
+	if kind != "shard" {
+		return snapshot{}, fmt.Errorf("sessionstore: chunk %s is %q, want shard", h, kind)
+	}
+	refs, err := vs.Refs(h)
+	if err != nil {
+		return snapshot{}, err
+	}
+	if len(refs) != len(meta.IDs) {
+		return snapshot{}, fmt.Errorf("sessionstore: shard tree %s has %d sessions, node says %d", h, len(refs), len(meta.IDs))
+	}
+	snap := snapshot{MaxNum: meta.MaxNum, ShipSeq: meta.ShipSeq, Tombstones: meta.Tombstones}
+	for _, ref := range refs {
+		ss, err := decodeSessionTree(vs, ref)
+		if err != nil {
+			return snapshot{}, err
+		}
+		snap.Sessions = append(snap.Sessions, ss)
+	}
+	return snap, nil
+}
+
+// commitSessionVersion commits the session's transcript tree at its
+// current committed turn count. Caller holds sh.mu. Failures are
+// recorded on the shard, never returned to the durability path.
+func (sh *shard) commitSessionVersion(vs *vstore.Store, e *Entry) {
+	if vs == nil {
+		return
+	}
+	ss := sessionSnap{ID: e.ID, Num: e.num, Focus: e.focus, Turns: e.committed}
+	tree, err := encodeSessionTree(vs, ss)
+	if err == nil {
+		_, err = vs.Commit(SessionRoot(e.ID), tree, len(e.committed))
+	}
+	if err != nil {
+		sh.versionErr = fmt.Errorf("sessionstore: version session %s: %w", e.ID, err)
+	}
+}
+
+// commitShardVersion commits the shard snapshot tree at its ship
+// horizon. Caller holds sh.mu.
+func (sh *shard) commitShardVersion(vs *vstore.Store, shard int, snap snapshot) {
+	if vs == nil {
+		return
+	}
+	tree, err := encodeShardTree(vs, snap)
+	if err == nil {
+		_, err = vs.Commit(ShardRoot(shard), tree, int(snap.ShipSeq))
+	}
+	if err != nil {
+		sh.versionErr = fmt.Errorf("sessionstore: version shard %d: %w", shard, err)
+	}
+}
+
+// VersionError reports (and clears) the most recent version-
+// maintenance failure on a shard, for health surfacing.
+func (s *Store) VersionError(shard int) error {
+	sh := s.shards[shard&(len(s.shards)-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	err := sh.versionErr
+	sh.versionErr = nil
+	return err
+}
+
+// TranscriptAsOf materializes a session's transcript as it stood at
+// committed turn count `turn` — the time-travel read path. The
+// returned dialogue session is immutable history: a fresh
+// materialization, sharing nothing with the live session.
+func (s *Store) TranscriptAsOf(id string, turn int) (*dialogue.Session, vstore.Commit, error) {
+	vs := s.cfg.Versions
+	if vs == nil {
+		return nil, vstore.Commit{}, ErrNoVersions
+	}
+	c, err := vs.AsOf(SessionRoot(id), turn)
+	if err != nil {
+		return nil, vstore.Commit{}, err
+	}
+	tree, err := treeOf(vs, c)
+	if err != nil {
+		return nil, vstore.Commit{}, err
+	}
+	ss, err := decodeSessionTree(vs, tree)
+	if err != nil {
+		return nil, vstore.Commit{}, err
+	}
+	sess := dialogue.NewSession()
+	tmp := &Entry{ID: ss.ID, num: ss.Num, sess: sess}
+	for _, tr := range ss.Turns {
+		appendTurn(tmp, tr)
+	}
+	sess.Focus = ss.Focus
+	return sess, c, nil
+}
+
+// SessionVersions returns a session's commit log (oldest first).
+func (s *Store) SessionVersions(id string) ([]vstore.Commit, error) {
+	vs := s.cfg.Versions
+	if vs == nil {
+		return nil, ErrNoVersions
+	}
+	return vs.Log(SessionRoot(id))
+}
+
+// treeOf returns the commit's tree hash (Commit.Tree is recorded in
+// the log; fall back to the chunk for logs shipped without it).
+func treeOf(vs *vstore.Store, c vstore.Commit) (vstore.Hash, error) {
+	if c.Tree != "" {
+		return c.Tree, nil
+	}
+	refs, err := vs.Refs(c.Hash)
+	if err != nil {
+		return "", err
+	}
+	if len(refs) != 1 {
+		return "", fmt.Errorf("sessionstore: commit %s has %d refs, want 1", c.Hash, len(refs))
+	}
+	return refs[0], nil
+}
+
+// materializeShardSnapshot rebuilds a shard snapshot from a shard
+// root hash present in the local version store. A partially shipped
+// closure yields *MissingChunksError so the driver can negotiate the
+// gap and retry.
+func (s *Store) materializeShardSnapshot(root vstore.Hash) (snapshot, error) {
+	vs := s.cfg.Versions
+	if vs == nil {
+		return snapshot{}, ErrNoVersions
+	}
+	if !vs.HasClosure(root) {
+		return snapshot{}, &MissingChunksError{Root: root}
+	}
+	tree, err := vs.ResolveTree(root)
+	if err != nil {
+		return snapshot{}, err
+	}
+	return decodeShardTree(vs, tree)
+}

@@ -1,0 +1,366 @@
+package sessionstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/vstore"
+)
+
+// TestPullFramesAtCompactionHorizonBoundary pins the boundary between
+// the snapshot-transfer and frame-shipping paths: a cursor EXACTLY at
+// the compaction horizon is fully served by frames — the horizon is
+// the last sequence the snapshot covers, so nothing below it is
+// needed — while one record below it must get a snapshot.
+func TestPullFramesAtCompactionHorizonBoundary(t *testing.T) {
+	primary, err := Open(Config{Dir: t.TempDir(), Shards: 1, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := primary.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	e, err := primary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 6; j++ {
+		commitPair(t, primary, e, fmt.Sprintf("q%d", j), fmt.Sprintf("a%d", j), 0.5)
+	}
+	sh := primary.shards[0]
+	sh.mu.Lock()
+	horizon := sh.shipBase
+	tail := len(sh.tail)
+	sh.mu.Unlock()
+	if horizon == 0 {
+		t.Fatalf("no compaction happened; shipBase = 0")
+	}
+	if tail == 0 {
+		// Land at least one record above the horizon so the frame path
+		// has something to serve.
+		commitPair(t, primary, e, "q-tail", "a-tail", 0.5)
+	}
+
+	// Exactly at the horizon: frames, starting at horizon+1.
+	b, err := primary.PullFrames(0, horizon, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Snapshot != nil || b.SnapshotRoot != "" {
+		t.Fatalf("cursor at horizon %d got a snapshot transfer", horizon)
+	}
+	if len(b.Frames) == 0 || b.Frames[0].Seq != horizon+1 {
+		t.Fatalf("cursor at horizon: frames = %d starting %d, want first seq %d",
+			len(b.Frames), b.Frames[0].Seq, horizon+1)
+	}
+
+	// One below: snapshot (or versioned root) transfer.
+	b, err = primary.PullFrames(0, horizon-1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Snapshot == nil && b.SnapshotRoot == "" {
+		t.Fatalf("cursor below horizon served %d frames, want snapshot", len(b.Frames))
+	}
+
+	// A replica starting exactly at the horizon catches up by frames
+	// alone and mirrors byte-identically.
+	replica, err := Open(Config{Dir: t.TempDir(), Shards: 1, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := replica.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	full, err := primary.PullFrames(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.ApplyBatch(full); err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, primary, replica, 0)
+	assertMirrors(t, primary, replica, []string{e.ID})
+}
+
+func versionedPair(t *testing.T) (*Store, *vstore.Store) {
+	t.Helper()
+	vs := vstore.NewMemory()
+	st, err := Open(Config{Dir: t.TempDir(), Shards: 1, SnapshotEvery: 4, Versions: vs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, vs
+}
+
+func TestTranscriptAsOfMaterializesEveryVersion(t *testing.T) {
+	st, _ := versionedPair(t)
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	e, err := st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture the canonical transcript after every committed pair.
+	want := map[int]string{}
+	for j := 0; j < 5; j++ {
+		commitPair(t, st, e, fmt.Sprintf("question %d", j), fmt.Sprintf("answer %d", j), 0.25+float64(j)/10)
+		want[2*(j+1)] = transcriptOf(t, e)
+	}
+	log, err := st.SessionVersions(e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 5 {
+		t.Fatalf("session has %d versions, want 5: %+v", len(log), log)
+	}
+	for turn, expect := range want {
+		sess, c, err := st.TranscriptAsOf(e.ID, turn)
+		if err != nil {
+			t.Fatalf("TranscriptAsOf(%d): %v", turn, err)
+		}
+		if c.Turn != turn {
+			t.Fatalf("AsOf(%d) resolved commit at turn %d", turn, c.Turn)
+		}
+		if got := Transcript(sess); got != expect {
+			t.Fatalf("transcript at turn %d drifted:\nwant:\n%s\ngot:\n%s", turn, expect, got)
+		}
+	}
+	// An odd cursor resolves to the version at or before it.
+	sess, c, err := st.TranscriptAsOf(e.ID, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Turn != 2 || Transcript(sess) != want[2] {
+		t.Fatalf("AsOf(3) = turn %d", c.Turn)
+	}
+	if _, _, err := st.TranscriptAsOf("never-issued", 2); err == nil {
+		t.Fatal("TranscriptAsOf on unknown session succeeded")
+	}
+
+	// Unversioned stores refuse rather than pretend.
+	plain := NewMemory(Config{Shards: 1})
+	if _, _, err := plain.TranscriptAsOf(e.ID, 2); !errors.Is(err, ErrNoVersions) {
+		t.Fatalf("err = %v, want ErrNoVersions", err)
+	}
+}
+
+// TestVersionedSnapshotShipNegotiatesChunks drives the versioned
+// catch-up path end to end in-process: the pull returns a snapshot
+// root instead of inline JSON, the first apply fails typed on missing
+// chunks, negotiation ships exactly the missing closure, and the
+// retried apply installs it. A later catch-up reuses the replica's
+// chunks and moves only the delta.
+func TestVersionedSnapshotShipNegotiatesChunks(t *testing.T) {
+	primary, vsP := versionedPair(t)
+	replica, vsR := versionedPair(t)
+	defer func() {
+		if err := errors.Join(primary.Close(), replica.Close()); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	// Several sessions: round 2 only touches the first, so the others'
+	// subtrees must ship exactly once.
+	var entries []*Entry
+	var ids []string
+	for i := 0; i < 6; i++ {
+		e, err := primary.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, e)
+		ids = append(ids, e.ID)
+		for j := 0; j < 2; j++ {
+			commitPair(t, primary, e, fmt.Sprintf("s%d q%d", i, j), fmt.Sprintf("a%d", j), 0.5)
+		}
+	}
+	e := entries[0]
+
+	b, err := primary.PullFrames(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SnapshotRoot == "" || b.Snapshot != nil {
+		t.Fatalf("versioned pull below horizon: root=%q inline=%d bytes", b.SnapshotRoot, len(b.Snapshot))
+	}
+
+	var missing *MissingChunksError
+	if err := replica.ApplyBatch(b); !errors.As(err, &missing) {
+		t.Fatalf("apply without chunks err = %v, want MissingChunksError", err)
+	}
+	moved1, err := vsR.PullFrom(vsP, missing.Root, 16)
+	if err != nil {
+		t.Fatalf("negotiate: %v", err)
+	}
+	if moved1 == 0 {
+		t.Fatal("negotiation moved no chunks")
+	}
+	if err := replica.ApplyBatch(b); err != nil {
+		t.Fatalf("apply after negotiation: %v", err)
+	}
+	shipAll(t, primary, replica, 0)
+	assertMirrors(t, primary, replica, ids)
+
+	// The replica can itself time travel after a versioned install —
+	// its log starts at install time (pre-install history stays on the
+	// primary), so ask for its own head.
+	rlog, err := replica.SessionVersions(e.ID)
+	if err != nil {
+		t.Fatalf("replica SessionVersions: %v", err)
+	}
+	if len(rlog) == 0 {
+		t.Fatal("replica has no session versions after install")
+	}
+	if _, _, err := replica.TranscriptAsOf(e.ID, rlog[len(rlog)-1].Turn); err != nil {
+		t.Fatalf("replica TranscriptAsOf: %v", err)
+	}
+
+	// Next round: more traffic to ONE session past another compaction,
+	// then catch up again. Structural sharing must make the second
+	// transfer smaller — the five untouched sessions' subtrees are
+	// already on the replica.
+	for j := 2; j < 8; j++ {
+		commitPair(t, primary, e, fmt.Sprintf("s0 q%d", j), fmt.Sprintf("a%d", j), 0.5)
+	}
+	b2, err := primary.PullFrames(0, replica.ReplicationCursor(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.SnapshotRoot == "" {
+		t.Fatalf("second catch-up did not use a snapshot root")
+	}
+	moved2, err := vsR.PullFrom(vsP, vstore.Hash(b2.SnapshotRoot), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved2 >= moved1 {
+		t.Fatalf("second negotiation moved %d chunks, first moved %d; no structural sharing", moved2, moved1)
+	}
+	if err := replica.ApplyBatch(b2); err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, primary, replica, 0)
+	assertMirrors(t, primary, replica, ids)
+
+	// Shard roots agree across stores: the replica adopted the
+	// primary's commit identity.
+	ph, err := vsP.Head(ShardRoot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := vsR.Head(ShardRoot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Hash != rh.Hash || ph.Tree != rh.Tree {
+		t.Fatalf("shard root diverged: primary %+v replica %+v", ph, rh)
+	}
+}
+
+// TestVersionedBatchOnUnversionedReplica pins the mixed-deployment
+// behavior: the apply fails typed (ErrNoVersions) instead of
+// installing garbage, and the driver can fall back to inline
+// snapshots.
+func TestVersionedBatchOnUnversionedReplica(t *testing.T) {
+	primary, _ := versionedPair(t)
+	defer func() {
+		if err := primary.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	replica := NewMemory(Config{Shards: 1})
+	e, err := primary.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 9; j++ {
+		commitPair(t, primary, e, fmt.Sprintf("q%d", j), "a", 0.5)
+	}
+	b, err := primary.PullFrames(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SnapshotRoot == "" {
+		t.Skip("no compaction happened; nothing to pin")
+	}
+	if err := replica.ApplyBatch(b); !errors.Is(err, ErrNoVersions) {
+		t.Fatalf("err = %v, want ErrNoVersions", err)
+	}
+}
+
+// TestVersionedStoreSurvivesRestart pins that version roots live in
+// the vstore, not the session store: a reopened store with the same
+// vstore serves AsOf across the restart.
+func TestVersionedStoreSurvivesRestart(t *testing.T) {
+	vdir := t.TempDir()
+	sdir := t.TempDir()
+	vs, err := vstore.Open(vstore.Config{Dir: vdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(Config{Dir: sdir, Shards: 1, Versions: vs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := st.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitPair(t, st, e, "q0", "a0", 0.5)
+	commitPair(t, st, e, "q1", "a1", 0.5)
+	wantMid, _, err := st.TranscriptAsOf(e.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Transcript(wantMid)
+	if err := errors.Join(st.Close(), vs.Close()); err != nil {
+		t.Fatal(err)
+	}
+
+	vs2, err := vstore.Open(vstore.Config{Dir: vdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Config{Dir: sdir, Shards: 1, Versions: vs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := errors.Join(st2.Close(), vs2.Close()); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	sess, c, err := st2.TranscriptAsOf(e.ID, 2)
+	if err != nil {
+		t.Fatalf("TranscriptAsOf after restart: %v", err)
+	}
+	if c.Turn != 2 || Transcript(sess) != want {
+		t.Fatalf("restart lost version history: turn=%d", c.Turn)
+	}
+	// Committing the same pair again during recovery-like replay is
+	// idempotent: the log is unchanged.
+	before, err := st2.SessionVersions(e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ee, status := st2.Get(e.ID)
+	if status != Found {
+		t.Fatalf("session lost: %v", status)
+	}
+	commitPair(t, st2, ee, "q2", "a2", 0.5)
+	after, err := st2.SessionVersions(e.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before)+1 {
+		t.Fatalf("version log grew by %d, want 1", len(after)-len(before))
+	}
+}

@@ -1,0 +1,297 @@
+package vstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/faults"
+	"github.com/reliable-cda/cda/internal/resilience"
+	"github.com/reliable-cda/cda/internal/storage"
+)
+
+func TestGCCollectsOrphansKeepsReachable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	db := demoDB(300)
+	c, err := s.CommitDatabase("db/main", db, 0)
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	live, err := s.Closure(c.Hash)
+	if err != nil {
+		t.Fatalf("closure: %v", err)
+	}
+	// Orphans: chunks never referenced by any root.
+	var orphans []Hash
+	for i := 0; i < 5; i++ {
+		orphans = append(orphans, mustPut(t, s, "leaf", nil, fmt.Sprintf(`["orphan-%d"]`, i)))
+	}
+	stats, err := s.GC()
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if stats.Swept != len(orphans) {
+		t.Fatalf("swept %d, want %d", stats.Swept, len(orphans))
+	}
+	if stats.Live != len(live) {
+		t.Fatalf("live %d, want %d", stats.Live, len(live))
+	}
+	for _, h := range orphans {
+		if s.Has(h) {
+			t.Fatalf("orphan %s survived", h)
+		}
+	}
+	if _, err := s.MaterializeDatabase(c.Tree); err != nil {
+		t.Fatalf("materialize after GC: %v", err)
+	}
+
+	// The pack rewrite must survive a reopen with only live chunks.
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	r, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		if err := r.Close(); err != nil {
+			t.Errorf("close reopened: %v", err)
+		}
+	}()
+	if n := r.NumChunks(); n != len(live) {
+		t.Fatalf("reopened with %d chunks, want %d", n, len(live))
+	}
+	if _, err := r.MaterializeDatabase(c.Tree); err != nil {
+		t.Fatalf("materialize after reopen: %v", err)
+	}
+}
+
+func TestGCSparesDeleteRootThenRecommit(t *testing.T) {
+	s := NewMemory()
+	db := demoDB(50)
+	c, err := s.CommitDatabase("db/a", db, 0)
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if err := s.DeleteRoot("db/a"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := s.GC(); err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if s.Has(c.Tree) {
+		t.Fatalf("unreferenced tree survived GC")
+	}
+	// Re-encoding after collection rebuilds the same addresses.
+	c2, err := s.CommitDatabase("db/a", db, 0)
+	if err != nil {
+		t.Fatalf("recommit: %v", err)
+	}
+	if c2.Tree != c.Tree {
+		t.Fatalf("content address changed across GC: %s vs %s", c.Tree, c2.Tree)
+	}
+}
+
+// gateHook blocks GC between its mark and sweep phases so a test can
+// interleave a commit at exactly the dangerous point.
+type gateHook struct {
+	markDone chan struct{} // closed when GC finishes marking
+	release  chan struct{} // GC sweeps only after this closes
+	once     sync.Once
+}
+
+func (g *gateHook) Inject(op string) error {
+	if op == "vstore.gc.sweep" {
+		g.once.Do(func() { close(g.markDone) })
+		<-g.release
+	}
+	return nil
+}
+
+// TestGCConcurrentCommitMidSweep is the satellite gate: a root
+// published after the mark phase snapshot — whose tree re-uses chunks
+// that were unreachable when marking ran — must keep its full closure.
+func TestGCConcurrentCommitMidSweep(t *testing.T) {
+	gate := &gateHook{markDone: make(chan struct{}), release: make(chan struct{})}
+	s, err := Open(Config{Faults: gate})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	db := demoDB(300)
+	// Encode the tree but do NOT commit it: at mark time every one of
+	// its chunks is an unreachable candidate.
+	tree, err := s.EncodeDatabase(db, 0)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	done := make(chan GCStats, 1)
+	go func() {
+		stats, gerr := s.GC()
+		if gerr != nil {
+			t.Errorf("GC: %v", gerr)
+		}
+		done <- stats
+	}()
+
+	<-gate.markDone
+	// Mark is complete and found nothing; publish the root now.
+	c, err := s.Commit("db/raced", tree, 0)
+	if err != nil {
+		t.Fatalf("commit mid-sweep: %v", err)
+	}
+	close(gate.release)
+	stats := <-done
+
+	if stats.Rescans == 0 {
+		t.Fatalf("sweep did not re-scan the newly published head; stats=%+v", stats)
+	}
+	if stats.Swept != 0 {
+		t.Fatalf("sweep collected %d chunks of a published root", stats.Swept)
+	}
+	if !s.HasClosure(c.Hash) {
+		t.Fatalf("closure of the mid-sweep commit is incomplete")
+	}
+	if _, err := s.MaterializeDatabase(c.Tree); err != nil {
+		t.Fatalf("materialize after racing GC: %v", err)
+	}
+}
+
+// TestGCEpochBarrierSparesInFlightEncode covers the other half of the
+// race: chunks stored mid-sweep whose root is committed only after GC
+// finishes. The epoch write barrier must spare them even though no
+// root reaches them during the sweep.
+func TestGCEpochBarrierSparesInFlightEncode(t *testing.T) {
+	gate := &gateHook{markDone: make(chan struct{}), release: make(chan struct{})}
+	s, err := Open(Config{Faults: gate})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Seed one orphan BEFORE the sweep epoch so the sweep has real work.
+	orphan := mustPut(t, s, "leaf", nil, `["pre-sweep orphan"]`)
+
+	done := make(chan GCStats, 1)
+	go func() {
+		stats, gerr := s.GC()
+		if gerr != nil {
+			t.Errorf("GC: %v", gerr)
+		}
+		done <- stats
+	}()
+
+	<-gate.markDone
+	// Encode a tree between mark and sweep; commit only after GC ends.
+	db := demoDB(300)
+	tree, err := s.EncodeDatabase(db, 0)
+	if err != nil {
+		t.Fatalf("encode mid-sweep: %v", err)
+	}
+	close(gate.release)
+	stats := <-done
+
+	if stats.Swept != 1 || s.Has(orphan) {
+		t.Fatalf("pre-sweep orphan not collected exactly: stats=%+v has=%v", stats, s.Has(orphan))
+	}
+	if stats.Spared == 0 {
+		t.Fatalf("epoch barrier spared nothing; stats=%+v", stats)
+	}
+	c, err := s.Commit("db/late", tree, 0)
+	if err != nil {
+		t.Fatalf("commit after GC: %v", err)
+	}
+	if !s.HasClosure(c.Hash) {
+		t.Fatalf("in-flight encode lost chunks to the sweep")
+	}
+	if _, err := s.MaterializeDatabase(tree); err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+}
+
+// TestGCUnderConcurrentCommitSeeded hammers GC against committers
+// under the race detector with seeded fault-injector interleavings
+// (latency faults on vstore ops shift the phase boundaries run to
+// run, but each seed is deterministic).
+func TestGCUnderConcurrentCommitSeeded(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			inj := faults.New(faults.Config{
+				Seed: seed,
+				PerBackend: map[string]faults.Rates{
+					"vstore": {Latency: 0.5},
+				},
+			}, resilience.NewWallClock())
+			s, err := Open(Config{Faults: inj})
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+
+			const writers = 3
+			const commitsPerWriter = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, writers+1)
+			for w := 0; w < writers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					db := demoDB(200 + w)
+					tab, gerr := db.Get("metrics")
+					if gerr != nil {
+						errs <- gerr
+						return
+					}
+					root := fmt.Sprintf("db/w%d", w)
+					for k := 0; k < commitsPerWriter; k++ {
+						tab.Column(2)[(k*17+w)%tab.NumRows()] = storage.Float(float64(seed) + float64(k))
+						if _, cerr := s.CommitDatabase(root, db, k); cerr != nil {
+							errs <- fmt.Errorf("writer %d commit %d: %w", w, k, cerr)
+							return
+						}
+					}
+				}()
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 6; i++ {
+					if _, gerr := s.GC(); gerr != nil {
+						errs <- fmt.Errorf("GC round %d: %w", i, gerr)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Every committed version of every root must still be fully
+			// materializable — no reachable chunk was ever collected.
+			for _, root := range s.Roots() {
+				log, err := s.Log(root)
+				if err != nil {
+					t.Fatalf("log %s: %v", root, err)
+				}
+				for _, c := range log {
+					if !s.HasClosure(c.Hash) {
+						t.Fatalf("root %s commit turn %d lost chunks", root, c.Turn)
+					}
+					if _, err := s.MaterializeDatabase(c.Tree); err != nil {
+						t.Fatalf("root %s turn %d materialize: %v", root, c.Turn, err)
+					}
+				}
+			}
+		})
+	}
+}

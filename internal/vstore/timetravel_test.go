@@ -1,0 +1,244 @@
+package vstore
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/reliable-cda/cda/internal/sqldb"
+	"github.com/reliable-cda/cda/internal/storage"
+)
+
+// The time-travel correctness gate (acceptance criterion): commit K
+// versions of a table with seeded edits, then
+//
+//   - every version's AsOf snapshot yields sqldb results byte-identical
+//     to results captured against the live database at commit time;
+//   - Diff between adjacent versions reports exactly the seeded edits;
+//   - chunk growth per commit is O(delta), not O(table) — structural
+//     sharing is real, not cosmetic.
+
+const ttRows = 4100 // ~17 leaves per column at DefaultLeafRows
+
+var ttQueries = []string{
+	"SELECT id, region, value FROM metrics ORDER BY id",
+	"SELECT region, COUNT(*) AS n FROM metrics GROUP BY region ORDER BY region",
+	"SELECT region, SUM(value) AS total FROM metrics GROUP BY region ORDER BY region",
+	"SELECT id, value FROM metrics WHERE value > 400 ORDER BY id DESC LIMIT 25",
+}
+
+// renderResult serializes a query result byte-exactly.
+func renderResult(res *sqldb.Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Columns, "|"))
+	sb.WriteByte('\n')
+	for _, row := range res.Rows {
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(v.Kind.String())
+			sb.WriteByte(':')
+			sb.WriteString(v.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func runQueries(t *testing.T, db *storage.Database) []string {
+	t.Helper()
+	eng := sqldb.NewEngine(db)
+	out := make([]string, len(ttQueries))
+	for i, q := range ttQueries {
+		res, err := eng.Query(q)
+		if err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		out[i] = renderResult(res)
+	}
+	return out
+}
+
+// seededEdit is one applied change, the oracle for Diff.
+type seededEdit struct {
+	changedRows []int
+	rowsAdded   int
+}
+
+// applyEdit mutates the live table at seeded row indices and appends
+// a few rows, returning the oracle.
+func applyEdit(t *testing.T, tab *storage.Table, rng *rand.Rand, nEdits, nAppends int) seededEdit {
+	t.Helper()
+	rows := tab.NumRows()
+	changed := map[int]bool{}
+	for len(changed) < nEdits {
+		changed[rng.Intn(rows)] = true
+	}
+	for r := range changed {
+		tab.Column(2)[r] = storage.Float(float64(rng.Intn(100000)) / 7.0)
+	}
+	for i := 0; i < nAppends; i++ {
+		tab.MustAppendRow(
+			storage.Int(int64(rows+i)),
+			storage.Str("appended"),
+			storage.Float(float64(rng.Intn(1000))),
+		)
+	}
+	return seededEdit{changedRows: sortedKeys(changed), rowsAdded: nAppends}
+}
+
+func TestTimeTravelGate(t *testing.T) {
+	s := NewMemory()
+	rng := rand.New(rand.NewSource(20260808))
+	db := demoDB(ttRows)
+	tab, err := db.Get("metrics")
+	if err != nil {
+		t.Fatalf("get table: %v", err)
+	}
+
+	const K = 6
+	var (
+		commits  []Commit
+		captured [][]string
+		edits    []seededEdit // edits[k] transformed version k into k+1
+		chunksAt []int
+	)
+	for k := 0; k < K; k++ {
+		if k > 0 {
+			edits = append(edits, applyEdit(t, tab, rng, 2+k%3, k%2))
+		}
+		c, err := s.CommitDatabase("db/main", db, k)
+		if err != nil {
+			t.Fatalf("commit version %d: %v", k, err)
+		}
+		commits = append(commits, c)
+		captured = append(captured, runQueries(t, db))
+		chunksAt = append(chunksAt, s.NumChunks())
+	}
+
+	// 1. Every version's AsOf snapshot reproduces its captured results
+	// byte for byte.
+	for k := 0; k < K; k++ {
+		snap, c, err := s.DatabaseAsOf("db/main", k)
+		if err != nil {
+			t.Fatalf("DatabaseAsOf(%d): %v", k, err)
+		}
+		if c.Hash != commits[k].Hash {
+			t.Fatalf("AsOf(%d) resolved %s, want %s", k, c.Hash, commits[k].Hash)
+		}
+		got := runQueries(t, snap)
+		for i := range ttQueries {
+			if got[i] != captured[k][i] {
+				t.Fatalf("version %d query %q drifted:\nat commit time:\n%s\nvia AsOf:\n%s",
+					k, ttQueries[i], captured[k][i], got[i])
+			}
+		}
+	}
+
+	// 2. Diff between adjacent versions reports exactly the seeded
+	// edits.
+	for k := 1; k < K; k++ {
+		rep, err := s.Diff(commits[k-1].Hash, commits[k].Hash)
+		if err != nil {
+			t.Fatalf("Diff(%d,%d): %v", k-1, k, err)
+		}
+		if len(rep.Tables) != 1 || rep.Tables[0].Table != "metrics" {
+			t.Fatalf("Diff(%d,%d) tables = %+v, want exactly metrics", k-1, k, rep.Tables)
+		}
+		td := rep.Tables[0]
+		want := edits[k-1]
+		if fmt.Sprint(td.ChangedRows) != fmt.Sprint(want.changedRows) {
+			t.Fatalf("Diff(%d,%d) changed rows = %v, want %v", k-1, k, td.ChangedRows, want.changedRows)
+		}
+		if td.RowsAdded != want.rowsAdded || td.RowsRemoved != 0 {
+			t.Fatalf("Diff(%d,%d) rows added/removed = %d/%d, want %d/0",
+				k-1, k, td.RowsAdded, td.RowsRemoved, want.rowsAdded)
+		}
+	}
+	// Self-diff is empty.
+	rep, err := s.Diff(commits[2].Hash, commits[2].Hash)
+	if err != nil || len(rep.Tables) != 0 {
+		t.Fatalf("self diff = %+v, %v; want empty", rep, err)
+	}
+
+	// 3. Structural sharing: the first commit writes the whole table
+	// (many chunks); each delta commit writes O(delta) chunks — the
+	// edited leaves plus the table/db/commit spine — far fewer than a
+	// fresh encoding would.
+	full := chunksAt[0]
+	minLeaves := ttRows / DefaultLeafRows // per column
+	// At least the id and value columns have all-distinct leaves (the
+	// region column's periodic leaves dedup amongst themselves).
+	if full < 2*minLeaves {
+		t.Fatalf("initial commit wrote %d chunks; table should span at least %d leaves", full, 2*minLeaves)
+	}
+	for k := 1; k < K; k++ {
+		delta := chunksAt[k] - chunksAt[k-1]
+		// Worst case per seeded edit: ~4 distinct value leaves + 1 id
+		// leaf + 1 region leaf (appends) + table + db + commit.
+		if delta > full/2 {
+			t.Fatalf("commit %d grew the store by %d chunks (full table is %d): O(table), not O(delta)",
+				k, delta, full)
+		}
+		if delta > 12 {
+			t.Fatalf("commit %d grew the store by %d chunks, want <= 12 for <=4 seeded edits", k, delta)
+		}
+	}
+}
+
+func TestMaterializePreservesSchemaMetadata(t *testing.T) {
+	s := NewMemory()
+	db := demoDB(10)
+	tab, err := db.Get("metrics")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	tab.Description = "per-region metric samples"
+	c, err := s.CommitDatabase("db/main", db, 0)
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	got, err := s.MaterializeDatabase(c.Hash) // commit hash resolves to tree
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	gt, err := got.Get("metrics")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if gt.Description != "per-region metric samples" {
+		t.Fatalf("table description lost: %q", gt.Description)
+	}
+	if gt.Schema()[1].Description != "sales region" {
+		t.Fatalf("column description lost: %+v", gt.Schema()[1])
+	}
+	if gt.Schema()[2].Kind != storage.KindFloat {
+		t.Fatalf("column kind lost: %+v", gt.Schema()[2])
+	}
+}
+
+func TestEncodeDatabaseCanonicalOrder(t *testing.T) {
+	s := NewMemory()
+	mk := func(names ...string) *storage.Database {
+		db := storage.NewDatabase("demo")
+		for _, n := range names {
+			tab := storage.NewTable(n, storage.Schema{{Name: "x", Kind: storage.KindInt}})
+			tab.MustAppendRow(storage.Int(1))
+			db.Put(tab)
+		}
+		return db
+	}
+	a, err := s.EncodeDatabase(mk("alpha", "beta"), 0)
+	if err != nil {
+		t.Fatalf("encode a: %v", err)
+	}
+	b, err := s.EncodeDatabase(mk("beta", "alpha"), 0)
+	if err != nil {
+		t.Fatalf("encode b: %v", err)
+	}
+	if a != b {
+		t.Fatalf("registration order leaked into the hash: %s vs %s", a, b)
+	}
+}

@@ -28,9 +28,17 @@
 #   go run scripts/benchdiff.go -prefix BenchmarkCluster \
 #       BENCH_cluster.json <fresh-candidate>.json
 #
+# A fifth pass snapshots the versioned-store suite (BenchmarkVstore*:
+# commit latency vs delta size, AsOf materialization, chunk-negotiated
+# catch-up vs full-closure transfer) into BENCH_vstore.json, guarded
+# the same way:
+#
+#   go run scripts/benchdiff.go -prefix BenchmarkVstore \
+#       BENCH_vstore.json <fresh-candidate>.json
+#
 # BENCHTIME (default 1x) controls -benchtime; use e.g. BENCHTIME=2s
 # for stable numbers, 1x for a smoke snapshot. OUT / OUT_SESSIONSTORE /
-# OUT_VECTORIZED / OUT_CLUSTER override the output paths. The parallel families run
+# OUT_VECTORIZED / OUT_CLUSTER / OUT_VSTORE override the output paths. The parallel families run
 # the same fixture at workers=1 (the exact serial path) and several
 # widths, so the baseline file doubles as the serial-vs-parallel
 # comparison table; the vectorized families run engine=row vs
@@ -44,6 +52,7 @@ OUT="${OUT:-BENCH_baseline.json}"
 OUT_SESSIONSTORE="${OUT_SESSIONSTORE:-BENCH_sessionstore.json}"
 OUT_VECTORIZED="${OUT_VECTORIZED:-BENCH_vectorized.json}"
 OUT_CLUSTER="${OUT_CLUSTER:-BENCH_cluster.json}"
+OUT_VSTORE="${OUT_VSTORE:-BENCH_vstore.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -76,3 +85,4 @@ bench_json '^(BenchmarkE|BenchmarkParallel)' . "$OUT"
 bench_json '^BenchmarkSessionStore' ./internal/sessionstore "$OUT_SESSIONSTORE"
 bench_json '^(BenchmarkE|BenchmarkVectorized)' . "$OUT_VECTORIZED"
 bench_json '^BenchmarkCluster' . "$OUT_CLUSTER"
+bench_json '^BenchmarkVstore' . "$OUT_VSTORE"

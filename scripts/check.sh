@@ -42,11 +42,11 @@
 #   9. go test -race — full test suite under the race detector
 #  10. bench smoke   — one iteration of every BenchmarkParallel*,
 #                      BenchmarkResilience*, BenchmarkVectorized*,
-#                      BenchmarkCluster*, BenchmarkSessionStore*,
-#                      BenchmarkCdalint, BenchmarkCdastate, and
-#                      BenchmarkCdarace so a broken benchmark fixture
-#                      fails the gate, not the next perf
-#                      investigation
+#                      BenchmarkCluster*, BenchmarkVstore*,
+#                      BenchmarkSessionStore*, BenchmarkCdalint,
+#                      BenchmarkCdastate, and BenchmarkCdarace so a
+#                      broken benchmark fixture fails the gate, not
+#                      the next perf investigation
 #
 # Any non-zero exit fails the gate. See README "Static analysis &
 # reliability invariants" for what each cdalint rule enforces.
@@ -85,15 +85,15 @@ go test -race ./internal/cluster
 go test -race -run 'TestCluster' ./internal/chaos
 go test -race -run 'TestHealthzReportsShardSeqAndLag|TestReplicaPaginationMidCatchUp|TestReplicationEndpointErrors' ./internal/server
 
-echo "==> session durability + admission (-race)"
-go test -race ./internal/sessionstore ./internal/admission
+echo "==> session durability + admission + versioned store (-race)"
+go test -race ./internal/sessionstore ./internal/admission ./internal/vstore
 go test -race -run 'TestSessionSurvivesRestart|TestTranscriptPagination|TestEvictedSessionGone|TestOverloadSheds|TestRateLimitSheds|TestConcurrentLifecycleAcrossShards|TestCreateSessionIDsMonotonicAcrossRestart' ./internal/server
 
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> parallel + resilience + vectorized + cluster benchmark smoke (1 iteration)"
-go test -run='^$' -bench='^Benchmark(Parallel|Resilience|Vectorized|Cluster)' -benchtime=1x .
+echo "==> parallel + resilience + vectorized + cluster + vstore benchmark smoke (1 iteration)"
+go test -run='^$' -bench='^Benchmark(Parallel|Resilience|Vectorized|Cluster|Vstore)' -benchtime=1x .
 
 echo "==> session store benchmark smoke (1 iteration)"
 go test -run='^$' -bench='^BenchmarkSessionStore' -benchtime=1x ./internal/sessionstore
